@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module pairs pytest-benchmark timings of the relevant
+hot path with a table-regeneration test that prints the experiment's
+rows (run ``pytest benchmarks/ --benchmark-only -s`` to see the tables;
+they are also what EXPERIMENTS.md records).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,60 @@
+"""E2 bench — propagation cost O(m), independent of N.
+
+Times one full propagation session at fixed m across database sizes
+(dbvv must stay flat as N grows 64x) and regenerates both E2 tables.
+"""
+
+import pytest
+
+from repro.experiments import e2_propagation_cost as e2
+from repro.experiments.common import fresh_pair, make_items
+from repro.substrate.operations import Put
+
+FIXED_M = 32
+
+
+def timed_session(benchmark, protocol: str, n_items: int, m: int):
+    items = make_items(n_items)
+    payload = b"x" * 32
+
+    def setup():
+        pair = fresh_pair(protocol, items)
+        for item in items[:m]:
+            pair.source.user_update(item, Put(payload))
+        return (pair,), {}
+
+    def session(pair):
+        pair.sync()
+
+    benchmark.pedantic(session, setup=setup, rounds=20)
+
+
+@pytest.mark.parametrize("n_items", [500, 32_000])
+def test_bench_dbvv_session_vs_n(benchmark, n_items):
+    timed_session(benchmark, "dbvv", n_items, FIXED_M)
+
+
+@pytest.mark.parametrize("n_items", [500, 32_000])
+def test_bench_per_item_session_vs_n(benchmark, n_items):
+    timed_session(benchmark, "per-item-vv", n_items, FIXED_M)
+
+
+@pytest.mark.parametrize("m", [8, 512])
+def test_bench_dbvv_session_vs_m(benchmark, m):
+    timed_session(benchmark, "dbvv", 4_000, m)
+
+
+def test_regenerate_e2_tables(benchmark):
+    rows_n = benchmark.pedantic(e2.run_sweep_n, rounds=1, iterations=1)
+    e2.report(rows_n, "E2a — session cost vs database size N").print()
+    rows_m = e2.run_sweep_m()
+    e2.report(rows_m, "E2b — session cost vs items propagated m").print()
+
+    dbvv_by_n = {r.n_items: r.work for r in rows_n if r.protocol == "dbvv"}
+    assert len(set(dbvv_by_n.values())) == 1, "dbvv flat in N"
+    dbvv_by_m = {r.m_updated: r.work for r in rows_m if r.protocol == "dbvv"}
+    ms = sorted(dbvv_by_m)
+    assert dbvv_by_m[ms[-1]] > dbvv_by_m[ms[0]], "dbvv grows with m"
+    per_item_by_n = {r.n_items: r.work for r in rows_n if r.protocol == "per-item-vv"}
+    ns = sorted(per_item_by_n)
+    assert per_item_by_n[ns[-1]] >= 10 * per_item_by_n[ns[0]], "per-item linear in N"

@@ -1,0 +1,59 @@
+"""E3 bench — AddLogRecord is O(1) and the log stays bounded.
+
+Times AddLogRecord against log components of very different sizes (the
+per-record cost must not grow) and against the append-only ablation;
+regenerates the E3 growth table.
+"""
+
+import pytest
+
+from repro.core.log_vector import LogComponent
+from repro.experiments import e3_log_bound as e3
+from repro.experiments.ablations import AppendOnlyLog
+
+BATCH = 1_000
+
+
+def prefill(log, items: int, updates: int):
+    for seqno in range(1, updates + 1):
+        log.add(f"hot-{seqno % items:05d}", seqno)
+    return updates
+
+
+@pytest.mark.parametrize("prefill_updates", [1_000, 100_000])
+def test_bench_add_log_record(benchmark, prefill_updates):
+    """O(1) add: the same batch costs the same on a 100x bigger history."""
+    log = LogComponent(origin=0)
+    next_seq = prefill(log, items=50, updates=prefill_updates)
+    state = {"seq": next_seq}
+
+    def add_batch():
+        seq = state["seq"]
+        for k in range(BATCH):
+            seq += 1
+            log.add(f"hot-{seq % 50:05d}", seq)
+        state["seq"] = seq
+
+    benchmark(add_batch)
+
+
+def test_bench_bounded_tail_extraction(benchmark):
+    """Extracting a full tail from the bounded log touches <= one
+    record per hot item no matter how long the update history was."""
+    log = LogComponent(origin=0)
+    prefill(log, items=50, updates=100_000)
+    benchmark(lambda: log.tail_after(0))
+
+
+def test_bench_unbounded_tail_extraction(benchmark):
+    """The ablation pays for the whole history."""
+    log = AppendOnlyLog(origin=0)
+    prefill(log, items=50, updates=100_000)
+    benchmark(lambda: log.tail_after(0))
+
+
+def test_regenerate_e3_table(benchmark):
+    rows = benchmark.pedantic(e3.run, rounds=1, iterations=1)
+    e3.report(rows).print()
+    assert all(row.bounded_size == row.hot_items for row in rows)
+    assert rows[-1].unbounded_size == rows[-1].updates

@@ -1,0 +1,39 @@
+"""E4 bench — the Lotus comparison: redundant sessions and the
+conflict bug.  Regenerates both E4 tables and times the redundant
+session both ways.
+"""
+
+from repro.experiments import e4_lotus_comparison as e4
+from repro.experiments.e1_identical_detection import run_triangle_session
+
+
+def test_bench_lotus_redundant_session(benchmark):
+    benchmark(lambda: run_triangle_session("lotus", 5_000, 10))
+
+
+def test_bench_dbvv_same_session(benchmark):
+    benchmark(lambda: run_triangle_session("dbvv", 5_000, 10))
+
+
+def test_regenerate_e4a_table(benchmark):
+    rows = benchmark.pedantic(e4.run_redundancy, rounds=1, iterations=1)
+    e4.report_redundancy(rows).print()
+    lotus = [r for r in rows if r.protocol == "lotus"]
+    dbvv = [r for r in rows if r.protocol == "dbvv"]
+    assert all(not r.detected_identical for r in lotus)
+    assert all(r.detected_identical for r in dbvv)
+    assert lotus[-1].work > 100 * dbvv[-1].work
+
+
+def test_regenerate_e4b_table(benchmark):
+    results = benchmark.pedantic(
+        lambda: [
+            e4.run_conflict_scenario("lotus"),
+            e4.run_conflict_scenario("dbvv"),
+        ],
+        rounds=1, iterations=1,
+    )
+    e4.report_conflicts(results).print()
+    lotus, dbvv = results
+    assert not lotus.j_update_survived and not lotus.conflict_reported
+    assert dbvv.j_update_survived and dbvv.conflict_reported

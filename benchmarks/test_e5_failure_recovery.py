@@ -1,0 +1,27 @@
+"""E5 bench — staleness after a mid-push originator crash.
+
+Regenerates the E5 table and times one full arm of each protocol (the
+simulation itself is the artifact being measured here; absolute times
+are secondary to the staleness rounds in the table).
+"""
+
+from repro.experiments import e5_failure_recovery as e5
+
+
+def test_bench_oracle_arm(benchmark):
+    benchmark(lambda: e5.run_oracle_arm(repair_round=15, max_rounds=20))
+
+
+def test_bench_dbvv_arm(benchmark):
+    benchmark(lambda: e5.run_dbvv_arm(repair_round=15, max_rounds=20))
+
+
+def test_regenerate_e5_table(benchmark):
+    results = benchmark.pedantic(e5.run, rounds=1, iterations=1)
+    e5.report(results).print()
+    oracle = next(r for r in results if r.protocol == "oracle-push")
+    dbvv = next(r for r in results if r.protocol == "dbvv")
+    # The paper's claim: Oracle staleness is coupled to repair time;
+    # epidemic staleness to the propagation schedule.
+    assert oracle.survivors_current_round == oracle.repair_round
+    assert dbvv.survivors_current_round < oracle.repair_round / 2

@@ -1,0 +1,32 @@
+"""E7 bench — convergence rounds and the Theorem 5 checks.
+
+Regenerates the E7 table (rounds vs n for random and ring scheduling,
+plus the conflict-detection check) and times a full convergence run.
+"""
+
+import pytest
+
+from repro.cluster.scheduler import RandomSelector
+from repro.experiments import e7_convergence as e7
+
+
+@pytest.mark.parametrize("n_nodes", [8, 32])
+def test_bench_convergence_run(benchmark, n_nodes):
+    benchmark(lambda: e7.converge_once(n_nodes, RandomSelector(), seed=1, updates=100))
+
+
+def test_regenerate_e7_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: e7.run_convergence(node_counts=(4, 8, 16, 32, 64), seeds=(1, 2, 3)),
+        rounds=1, iterations=1,
+    )
+    detection = e7.run_conflict_detection()
+    e7.report(rows, detection).print()
+
+    random_rows = {r.n_nodes: r.mean_rounds for r in rows if r.selector == "random"}
+    # Epidemic pull: rounds grow ~log n — going 4 -> 64 nodes (16x)
+    # must cost far less than 16x the rounds.
+    assert random_rows[64] < 4 * random_rows[4]
+    assert detection.detected_items == detection.planted
+    assert detection.silently_merged == 0
+    assert all(r.conflicts == 0 for r in rows)

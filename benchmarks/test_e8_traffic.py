@@ -1,0 +1,28 @@
+"""E8 bench — end-to-end traffic and work across all five protocols.
+
+Regenerates the E8 totals table from the shared trace and times the
+full steady-state run for the two headline protocols.
+"""
+
+from repro.experiments import e8_traffic as e8
+
+
+def test_bench_dbvv_steady_state(benchmark):
+    benchmark(lambda: e8.run(protocols=("dbvv",), n_items=200, updates=300))
+
+
+def test_bench_per_item_steady_state(benchmark):
+    benchmark(lambda: e8.run(protocols=("per-item-vv",), n_items=200, updates=300))
+
+
+def test_regenerate_e8_table(benchmark):
+    rows = benchmark.pedantic(e8.run, rounds=1, iterations=1)
+    e8.report(rows).print()
+    by_name = {row.protocol: row for row in rows}
+    assert all(row.converged for row in rows)
+    # The paper's economics: dbvv's comparison/scan work is far below
+    # the per-item and Lotus baselines at this size...
+    assert by_name["dbvv"].work < by_name["per-item-vv"].work / 3
+    assert by_name["dbvv"].work < by_name["lotus"].work
+    # ...and its metadata traffic beats per-item's N-vector shipments.
+    assert by_name["dbvv"].bytes_sent < by_name["per-item-vv"].bytes_sent

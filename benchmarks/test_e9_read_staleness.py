@@ -1,0 +1,24 @@
+"""E9 bench — read staleness vs the anti-entropy schedule.
+
+Regenerates the E9 table and times one arm of the event-driven
+simulation (the measured artifact is the staleness table; the timing
+documents the harness's own cost).
+"""
+
+from repro.experiments import e9_read_staleness as e9
+
+
+def test_bench_event_driven_arm(benchmark):
+    benchmark(lambda: e9.run_arm(5.0, oob_hot_reads=False, n_events=300))
+
+
+def test_regenerate_e9_table(benchmark):
+    rows = benchmark.pedantic(e9.run, rounds=1, iterations=1)
+    e9.report(rows).print()
+    plain = {row.period: row for row in rows if not row.oob_hot_reads}
+    oob = {row.period: row for row in rows if row.oob_hot_reads}
+    periods = sorted(plain)
+    # Staleness rises with the period...
+    assert plain[periods[-1]].stale_fraction > plain[periods[0]].stale_fraction
+    # ...and OOB keeps hot reads fresh regardless.
+    assert all(row.stale_hot_fraction == 0.0 for row in oob.values())

@@ -1,0 +1,69 @@
+"""Micro-benchmarks for the core data structures.
+
+The asymptotic claims live in E1–E3; these pin the *constants* — the
+per-operation costs the paper's "constant time" statements refer to —
+so a regression that, say, turns the version-vector comparison into
+something allocating per call shows up here.
+"""
+
+import pytest
+
+from repro.core.auxiliary import AuxiliaryLog
+from repro.core.dbvv import DatabaseVersionVector
+from repro.core.version_vector import VersionVector, merge
+from repro.substrate.operations import Append
+
+
+@pytest.mark.parametrize("n_nodes", [4, 64])
+def test_bench_vv_compare(benchmark, n_nodes):
+    a = VersionVector.from_counts(range(n_nodes))
+    b = VersionVector.from_counts(range(1, n_nodes + 1))
+    benchmark(lambda: a.compare(b))
+
+
+@pytest.mark.parametrize("n_nodes", [4, 64])
+def test_bench_vv_dominates_or_equal(benchmark, n_nodes):
+    """The DBVV gate of SendPropagation — the single comparison that
+    replaces a whole-database scan."""
+    a = VersionVector.from_counts([5] * n_nodes)
+    b = VersionVector.from_counts([5] * n_nodes)
+    benchmark(lambda: a.dominates_or_equal(b))
+
+
+def test_bench_vv_merge(benchmark):
+    a = VersionVector.from_counts(range(16))
+    b = VersionVector.from_counts(range(16, 0, -1))
+    benchmark(lambda: merge(a, b))
+
+
+def test_bench_dbvv_absorb_item_copy(benchmark):
+    """Rule 3, charged per adopted item during AcceptPropagation."""
+    dbvv = DatabaseVersionVector(8)
+    old = VersionVector.zero(8)
+    new = VersionVector.from_counts([1, 0, 2, 0, 0, 1, 0, 0])
+
+    def absorb():
+        dbvv.absorb_item_copy(old, new)
+
+    benchmark(absorb)
+
+
+def test_bench_aux_log_append_pop(benchmark):
+    """The out-of-bound hot path: record a deferred update, replay it."""
+    log = AuxiliaryLog()
+    pre = VersionVector.from_counts([3, 1])
+    op = Append(b".")
+
+    def cycle():
+        log.append("x", pre, op)
+        log.pop_earliest("x")
+
+    benchmark(cycle)
+
+
+def test_bench_aux_log_earliest(benchmark):
+    log = AuxiliaryLog()
+    pre = VersionVector.from_counts([3, 1])
+    for k in range(1_000):
+        log.append(f"item-{k % 10}", pre, Append(b"."))
+    benchmark(lambda: log.earliest("item-3"))

@@ -1,0 +1,14 @@
+"""Repository-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run
+against the in-tree package even when the package is not installed
+(e.g. on offline machines where editable installs are unavailable).
+An installed copy, if any, is shadowed by the in-tree sources.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Failure during update distribution: epidemic repair vs push-only.
+
+Reproduces the paper's section 8.2 argument as a runnable story: a
+server originates a batch of updates, starts distributing them, and
+crashes after reaching only two of its five peers.
+
+* Under Oracle-style deferred push (no forwarding), the three stranded
+  replicas stay stale until the originator is repaired — and nothing in
+  the protocol even notices.
+* Under the paper's protocol, the survivors' next DBVV comparisons
+  detect the difference and forward the new data around the failure.
+
+Run:  python examples/failure_recovery.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.e5_failure_recovery import run_dbvv_arm, run_oracle_arm
+from repro.metrics.reporting import Table
+
+REPAIR_ROUND = 25
+
+
+def main() -> None:
+    oracle = run_oracle_arm(repair_round=REPAIR_ROUND)
+    dbvv = run_dbvv_arm(repair_round=REPAIR_ROUND)
+
+    table = Table(
+        "Originator crashes after reaching 2 of 5 peers; repaired at "
+        f"round {REPAIR_ROUND}",
+        ["protocol", "survivors fully current at round", "peak stale (node,item) pairs"],
+    )
+    for result in (oracle, dbvv):
+        table.add_row([
+            result.protocol,
+            result.survivors_current_round
+            if result.survivors_current_round is not None else "never",
+            result.staleness.peak_stale_pairs,
+        ])
+    table.print()
+
+    print(
+        "oracle-push: staleness lasted until the repair "
+        f"(round {oracle.survivors_current_round}) — coupled to MTTR."
+    )
+    print(
+        "dbvv:        survivors forwarded around the failure and were "
+        f"current by round {dbvv.survivors_current_round} — coupled to the "
+        "anti-entropy schedule."
+    )
+    assert oracle.survivors_current_round == REPAIR_ROUND
+    assert dbvv.survivors_current_round < REPAIR_ROUND / 2
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""How connectivity structure shapes epidemic convergence.
+
+Theorem 5 guarantees correctness on *any* schedule with transitive
+coverage; what changes across topologies is speed.  This study runs the
+same workload over six connectivity shapes — from a line (worst
+diameter) to uniform random pull (the classic epidemic) — and charts
+rounds-to-convergence and the traffic each shape pays.
+
+Run:  python examples/topology_comparison.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import topologies
+from repro.cluster.scheduler import RandomSelector, StarSelector
+from repro.cluster.simulation import ClusterSimulation
+from repro.experiments.common import make_factory, make_items
+from repro.metrics.ascii_chart import bar_chart
+from repro.workload import SingleWriterWorkload, Trace
+
+N_NODES = 12
+ITEMS = make_items(50)
+SEEDS = (1, 2, 3)
+
+
+def shapes():
+    return [
+        ("random pull", RandomSelector()),
+        ("star (hub 0)", StarSelector(hub=0)),
+        ("line", topologies.line(N_NODES)),
+        ("ring", topologies.ring(N_NODES)),
+        ("grid 3x4", topologies.grid(3, 4)),
+        ("small world", topologies.small_world(N_NODES, chords=6, seed=4)),
+    ]
+
+
+def measure(selector, seed: int) -> tuple[int, int]:
+    sim = ClusterSimulation(
+        make_factory("dbvv", N_NODES, ITEMS), N_NODES, ITEMS,
+        selector=selector, seed=seed,
+    )
+    workload = SingleWriterWorkload(ITEMS, N_NODES, seed=seed)
+    Trace.from_events(workload.generate(100)).replay(sim, updates_per_round=0)
+    rounds = sim.run_until_converged(max_rounds=120 * N_NODES)
+    return rounds, sim.total_counters.bytes_sent
+
+
+def main() -> None:
+    rounds_by_shape = {}
+    bytes_by_shape = {}
+    for name, selector in shapes():
+        results = [measure(selector, seed) for seed in SEEDS]
+        rounds_by_shape[name] = sum(r for r, _b in results) / len(results)
+        bytes_by_shape[name] = sum(b for _r, b in results) // len(results)
+
+    print(bar_chart(
+        rounds_by_shape, width=40,
+        title=f"Mean rounds to convergence, {N_NODES} nodes "
+              f"(100 updates, {len(SEEDS)} seeds)",
+    ))
+    print()
+    print(bar_chart(
+        bytes_by_shape, width=40,
+        title="Mean total traffic (bytes) for the same runs",
+    ))
+    print()
+    fastest = min(rounds_by_shape, key=rounds_by_shape.get)
+    slowest = max(rounds_by_shape, key=rounds_by_shape.get)
+    print(
+        f"every topology converged (Theorem 5); '{fastest}' was fastest, "
+        f"'{slowest}' slowest — structure buys speed, never correctness"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+the package can be installed in environments without the ``wheel``
+package (offline machines), where ``pip install -e .`` cannot build the
+PEP 517 editable wheel: run ``python setup.py develop`` instead.
+"""
+
+from setuptools import setup
+
+setup()

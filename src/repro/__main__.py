@@ -1,0 +1,68 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro                      # library overview
+    python -m repro experiments [--fast] # run every experiment table
+    python -m repro e1 ... e8            # run one experiment
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import __version__
+
+_EXPERIMENTS = {
+    "e1": "repro.experiments.e1_identical_detection",
+    "e2": "repro.experiments.e2_propagation_cost",
+    "e3": "repro.experiments.e3_log_bound",
+    "e4": "repro.experiments.e4_lotus_comparison",
+    "e5": "repro.experiments.e5_failure_recovery",
+    "e6": "repro.experiments.e6_out_of_bound",
+    "e7": "repro.experiments.e7_convergence",
+    "e8": "repro.experiments.e8_traffic",
+    "e9": "repro.experiments.e9_read_staleness",
+}
+
+_OVERVIEW = f"""repro {__version__} — Scalable Update Propagation in Epidemic
+Replicated Databases (Rabinovich, Gehani & Kononov, EDBT 1996).
+
+Commands:
+  python -m repro experiments [--fast]   run all experiment tables
+  python -m repro e1 | e2 | ... | e8     run one experiment
+  pytest tests/                          correctness suite
+  pytest benchmarks/ --benchmark-only    wall-clock benches + tables
+
+Documentation: README.md (overview), DESIGN.md (system inventory),
+EXPERIMENTS.md (paper claims vs measured results).
+"""
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(_OVERVIEW)
+        return 0
+    command, *rest = argv
+    if command == "experiments":
+        from repro.experiments.run_all import export_csv, main as run_all
+
+        if "--csv" in rest:
+            directory = rest[rest.index("--csv") + 1]
+            files = export_csv(directory, fast="--fast" in rest)
+            print(f"wrote {len(files)} CSV files to {directory}")
+        else:
+            run_all(fast="--fast" in rest)
+        return 0
+    if command in _EXPERIMENTS:
+        import importlib
+
+        importlib.import_module(_EXPERIMENTS[command]).main()
+        return 0
+    print(f"unknown command {command!r}\n", file=sys.stderr)
+    print(_OVERVIEW, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,34 @@
+"""Analysis: scaling-law fitting and automated paper-claim verdicts.
+
+:mod:`~repro.analysis.fitting` classifies a measured cost series as
+constant / logarithmic / linear / superlinear (numpy + scipy least
+squares with a log-log-slope gate); :mod:`~repro.analysis.verdicts`
+applies it to each experiment's rows and states whether the shape
+matches the paper's claim.
+"""
+
+from repro.analysis.fitting import (
+    FitResult,
+    classify_scaling,
+    fit_series,
+    growth_exponent,
+)
+from repro.analysis.verdicts import (
+    ClaimVerdict,
+    verdict_e1,
+    verdict_e2_m,
+    verdict_e2_n,
+    verdict_e7,
+)
+
+__all__ = [
+    "FitResult",
+    "classify_scaling",
+    "fit_series",
+    "growth_exponent",
+    "ClaimVerdict",
+    "verdict_e1",
+    "verdict_e2_m",
+    "verdict_e2_n",
+    "verdict_e7",
+]

@@ -1,0 +1,139 @@
+"""Scaling-law fitting for experiment series.
+
+The paper's claims are asymptotic ("constant", "linear in m",
+"logarithmic rounds"); eyeballing a table leaves room for argument, so
+this module fits the standard growth models to a measured series and
+names the winner:
+
+* ``constant``     — y ≈ c
+* ``logarithmic``  — y ≈ a·log x + b
+* ``linear``       — y ≈ a·x + b
+* ``superlinear``  — log-log slope meaningfully above 1
+
+Model selection is by least squares on the normalized series, with the
+log-log slope (``growth_exponent``) as the tie-breaker between the
+polynomial regimes.  This is deliberately simple, transparent curve
+classification for monotone-ish, noise-light simulation series — not
+general model inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["FitResult", "growth_exponent", "fit_series", "classify_scaling"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of classifying one measured series."""
+
+    model: str                 # constant | logarithmic | linear | superlinear
+    growth_exponent: float     # log-log slope
+    r_squared: float           # of the winning model's fit
+    slope: float               # winning model's slope (0 for constant)
+
+    def is_flat(self) -> bool:
+        return self.model == "constant"
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be 1-D sequences of equal length")
+    if len(x) < 3:
+        raise ValueError(f"need at least 3 points to classify scaling, got {len(x)}")
+    if np.any(x <= 0):
+        raise ValueError("xs must be positive (sizes/counts)")
+    if np.any(y < 0):
+        raise ValueError("ys must be non-negative (costs)")
+    if not np.all(np.diff(x) > 0):
+        raise ValueError("xs must be strictly increasing")
+    return x, y
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The log-log regression slope: ~0 flat, ~1 linear, ~2 quadratic.
+
+    Zero y-values are nudged to the smallest positive measurement (or 1)
+    so all-zero and near-zero series read as flat rather than crashing.
+    """
+    x, y = _validate(xs, ys)
+    positive = y[y > 0]
+    floor = positive.min() if positive.size else 1.0
+    y = np.maximum(y, floor)
+    slope, _intercept, _r, _p, _stderr = stats.linregress(np.log(x), np.log(y))
+    return float(slope)
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_series(xs: Sequence[float], ys: Sequence[float]) -> dict[str, tuple[float, float]]:
+    """Least-squares fits of each model; returns
+    ``{model: (slope, r_squared)}`` (slope is the coefficient of the
+    model's growing term; 0 for constant)."""
+    x, y = _validate(xs, ys)
+    fits: dict[str, tuple[float, float]] = {}
+    fits["constant"] = (0.0, _r_squared(y, np.full_like(y, y.mean())))
+    log_fit = stats.linregress(np.log(x), y)
+    fits["logarithmic"] = (
+        float(log_fit.slope),
+        _r_squared(y, log_fit.slope * np.log(x) + log_fit.intercept),
+    )
+    lin_fit = stats.linregress(x, y)
+    fits["linear"] = (
+        float(lin_fit.slope),
+        _r_squared(y, lin_fit.slope * x + lin_fit.intercept),
+    )
+    return fits
+
+
+def classify_scaling(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    flat_ratio: float = 1.5,
+    superlinear_threshold: float = 1.25,
+) -> FitResult:
+    """Name the growth law of a measured series.
+
+    ``flat_ratio`` — a series whose total growth ``max(y)/min(y)`` stays
+    below this is constant: the log-log slope alone cannot separate
+    "flat with jitter" from "logarithmic" (a log curve's log-log slope
+    tends to zero), but a log curve over a decent x-range grows by a
+    real factor while a flat one does not.
+    ``superlinear_threshold`` — a log-log slope above this is reported
+    superlinear even though no explicit polynomial model is fitted.
+    """
+    exponent = growth_exponent(xs, ys)
+    fits = fit_series(xs, ys)
+    y = np.asarray(ys, dtype=float)
+    positive_floor = y[y > 0].min() if np.any(y > 0) else 1.0
+    ratio = float(np.maximum(y, positive_floor).max() / positive_floor)
+    if ratio <= flat_ratio:
+        return FitResult("constant", exponent, fits["constant"][1], 0.0)
+    if exponent >= superlinear_threshold:
+        return FitResult("superlinear", exponent, fits["linear"][1], fits["linear"][0])
+    # Between flat and superlinear: logarithmic vs linear by fit quality,
+    # with the exponent as a sanity gate (a ~1.0 exponent is linear even
+    # if log happens to edge it on r² for a short series).
+    if exponent >= 0.75:
+        model = "linear"
+    else:
+        model = (
+            "logarithmic"
+            if fits["logarithmic"][1] >= fits["linear"][1]
+            else "linear"
+        )
+    slope, r2 = fits[model]
+    return FitResult(model, exponent, r2, slope)

@@ -1,0 +1,267 @@
+"""Baseline: Agrawal & Malpani-style decoupled dissemination
+(paper section 8.3).
+
+"Agrawal and Malpani's protocol decouples sending update logs from
+sending version vector information.  Thus, separate policies can be
+used to schedule both types of exchanges."  The model:
+
+* **Log push** (frequent, cheap): a node ships recent update records —
+  everything it received since it last pushed to that peer — with *no*
+  version-vector handshake.  Recipients apply records they have not
+  seen (tracked by a per-origin received-counter vector) and log them
+  for their own future pushes, so updates do forward epidemically.
+* **Vector exchange** (infrequent, heavier): nodes compare received-
+  counter vectors to find gaps the best-effort pushes missed (e.g.
+  records pushed while the recipient was down) and repair them by
+  requesting the missing records explicitly.
+
+The paper's criticism applies to this family (footnote 4): every log
+push compares its candidate records against per-peer cursors, and the
+repair path's vector exchange is per-origin; with anti-entropy done per
+data item the overhead is "linear in the number of data items plus the
+number of updates exchanged".  As with the other non-vector-per-item
+baselines, values are LWW-stamped (conflicts resolve silently — the
+correctness gap the DBVV protocol closes).
+
+The decoupling knob is ``vector_exchange_every``: a node performs its
+vector exchange on every k-th ``sync_with`` call, pure log pushes in
+between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import WORD_SIZE
+from repro.errors import UnknownItemError
+from repro.interfaces import ProtocolNode, SyncStats, Transport
+from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
+from repro.substrate.operations import UpdateOperation
+
+__all__ = ["AMRecord", "AgrawalMalpaniNode"]
+
+
+@dataclass(frozen=True)
+class AMRecord:
+    """One disseminated update: LWW-stamped resulting value."""
+
+    item: str
+    value: bytes
+    seqno: int
+    origin: int
+
+    def stamp(self) -> tuple[int, int]:
+        return (self.seqno, self.origin)
+
+    def wire_size(self) -> int:
+        return 3 * WORD_SIZE + len(self.value)
+
+
+@dataclass(frozen=True)
+class _LogPush:
+    source: int
+    records: tuple[AMRecord, ...]
+
+    def wire_size(self) -> int:
+        return WORD_SIZE + sum(record.wire_size() for record in self.records)
+
+
+@dataclass(frozen=True)
+class _VectorExchange:
+    """'Here is how many updates per origin I have received.'"""
+
+    source: int
+    received: tuple[int, ...]
+
+    def wire_size(self) -> int:
+        return WORD_SIZE + WORD_SIZE * len(self.received)
+
+
+@dataclass(frozen=True)
+class _RepairRequest:
+    requester: int
+    gaps: tuple[tuple[int, int], ...]  # (origin, have-through)
+
+    def wire_size(self) -> int:
+        return WORD_SIZE + 2 * WORD_SIZE * len(self.gaps)
+
+
+class AgrawalMalpaniNode(ProtocolNode):
+    """One replica under decoupled log/vector dissemination."""
+
+    protocol_name = "agrawal-malpani"
+
+    def __init__(
+        self,
+        node_id: int,
+        n_nodes: int,
+        items: list[str] | tuple[str, ...],
+        counters: OverheadCounters = NULL_COUNTERS,
+        vector_exchange_every: int = 4,
+    ):
+        super().__init__(node_id, n_nodes, counters)
+        if vector_exchange_every < 1:
+            raise ValueError(
+                f"vector_exchange_every must be >= 1, got {vector_exchange_every}"
+            )
+        self._values: dict[str, bytes] = {name: b"" for name in items}
+        self._stamps: dict[str, tuple[int, int]] = {
+            name: (0, -1) for name in items
+        }
+        # All records this node has received, per origin, in seqno order
+        # (dense: record k of a list has seqno k+1 — the prefix shape
+        # the dissemination maintains).
+        self._received: list[list[AMRecord]] = [[] for _ in range(n_nodes)]
+        # Per-peer: how many of each origin's records we already pushed.
+        self._pushed: dict[int, list[int]] = {
+            peer: [0] * n_nodes for peer in range(n_nodes)
+        }
+        self.vector_exchange_every = vector_exchange_every
+        self._sync_calls = 0
+        self.vector_exchanges = 0
+        self.repairs = 0
+
+    # -- user operations -----------------------------------------------------
+
+    def user_update(self, item: str, op: UpdateOperation) -> None:
+        if item not in self._values:
+            raise UnknownItemError(item)
+        new_value = op.apply(self._values[item])
+        seqno = len(self._received[self.node_id]) + 1
+        record = AMRecord(item, new_value, seqno, self.node_id)
+        self._apply(record)
+        self._received[self.node_id].append(record)
+
+    def read(self, item: str) -> bytes:
+        try:
+            return self._values[item]
+        except KeyError:
+            raise UnknownItemError(item) from None
+
+    def _apply(self, record: AMRecord) -> None:
+        self.counters.seqno_comparisons += 1
+        if record.stamp() > self._stamps[record.item]:
+            self._values[record.item] = record.value
+            self._stamps[record.item] = record.stamp()
+            self.counters.items_copied += 1
+
+    def received_vector(self) -> tuple[int, ...]:
+        """Per-origin received-record counts (the protocol's vector)."""
+        return tuple(len(records) for records in self._received)
+
+    # -- dissemination ------------------------------------------------------------
+
+    def sync_with(self, peer: ProtocolNode, transport: Transport) -> SyncStats:
+        """Push recent records to ``peer``; every k-th call also runs
+        the vector exchange and repairs gaps in both directions."""
+        if not isinstance(peer, AgrawalMalpaniNode):
+            raise TypeError(
+                f"cannot disseminate to {type(peer).__name__}"
+            )
+        stats = SyncStats()
+        self._sync_calls += 1
+        applied = self._log_push(peer, transport, stats)
+        if self._sync_calls % self.vector_exchange_every == 0:
+            applied += self._vector_exchange(peer, transport, stats)
+        stats.items_transferred = applied
+        stats.identical = applied == 0
+        return stats
+
+    def _log_push(
+        self, peer: "AgrawalMalpaniNode", transport: Transport, stats: SyncStats
+    ) -> int:
+        # Pushes are deliberately fire-and-forget: the cursors advance
+        # whether or not delivery succeeds, and a lost push is never
+        # retried — that is the decoupling (the cheap path carries no
+        # acknowledgement state; the vector exchange repairs whatever
+        # best-effort pushing missed).
+        cursors = self._pushed[peer.node_id]
+        fresh: list[AMRecord] = []
+        for origin in range(self.n_nodes):
+            records = self._received[origin]
+            for record in records[cursors[origin]:]:
+                self.counters.log_records_examined += 1
+                fresh.append(record)
+            cursors[origin] = len(records)
+        if not fresh:
+            return 0
+        message = transport.deliver(
+            self.node_id, peer.node_id, _LogPush(self.node_id, tuple(fresh))
+        )
+        stats.messages += 1
+        return peer._accept_records(message.records)
+
+    def _accept_records(self, records: tuple[AMRecord, ...]) -> int:
+        applied = 0
+        for record in records:
+            known = self._received[record.origin]
+            self.counters.seqno_comparisons += 1
+            if record.seqno == len(known) + 1:
+                known.append(record)
+                self._apply(record)
+                applied += 1
+            # Records out of prefix order (a gap from a missed push)
+            # are dropped here; the vector exchange repairs gaps.
+        return applied
+
+    def _vector_exchange(
+        self, peer: "AgrawalMalpaniNode", transport: Transport, stats: SyncStats
+    ) -> int:
+        """Compare received-vectors both ways and repair gaps."""
+        self.vector_exchanges += 1
+        mine = transport.deliver(
+            self.node_id, peer.node_id,
+            _VectorExchange(self.node_id, self.received_vector()),
+        )
+        theirs = transport.deliver(
+            peer.node_id, self.node_id,
+            _VectorExchange(peer.node_id, peer.received_vector()),
+        )
+        stats.messages += 2
+        applied = 0
+        # I repair from the peer...
+        gaps = tuple(
+            (origin, mine.received[origin])
+            for origin in range(self.n_nodes)
+            if theirs.received[origin] > mine.received[origin]
+        )
+        if gaps:
+            request = transport.deliver(
+                self.node_id, peer.node_id, _RepairRequest(self.node_id, gaps)
+            )
+            repair = transport.deliver(
+                peer.node_id, self.node_id, peer._serve_repair(request)
+            )
+            stats.messages += 2
+            applied += self._accept_records(repair.records)
+            self.repairs += 1
+        # ...and the peer repairs from me (symmetric exchange).
+        peer_gaps = tuple(
+            (origin, theirs.received[origin])
+            for origin in range(self.n_nodes)
+            if mine.received[origin] > theirs.received[origin]
+        )
+        if peer_gaps:
+            request = transport.deliver(
+                peer.node_id, self.node_id, _RepairRequest(peer.node_id, peer_gaps)
+            )
+            repair = transport.deliver(
+                self.node_id, peer.node_id, self._serve_repair(request)
+            )
+            stats.messages += 2
+            applied += peer._accept_records(repair.records)
+            peer.repairs += 1
+        return applied
+
+    def _serve_repair(self, request: _RepairRequest) -> _LogPush:
+        records: list[AMRecord] = []
+        for origin, have_through in request.gaps:
+            for record in self._received[origin][have_through:]:
+                self.counters.log_records_examined += 1
+                records.append(record)
+        return _LogPush(self.node_id, tuple(records))
+
+    # -- introspection --------------------------------------------------------------
+
+    def state_fingerprint(self) -> dict[str, bytes]:
+        return dict(self._values)

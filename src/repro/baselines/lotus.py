@@ -1,0 +1,232 @@
+"""Baseline: the Lotus Notes replication protocol (paper section 8.1).
+
+The model follows the paper's description of Lotus Notes [Kawell et al.
+1988] exactly:
+
+* every item copy carries a **sequence number** counting the updates it
+  reflects (no version vectors);
+* every item copy carries a **last-modified time** in its server's
+  local clock;
+* every server remembers, per peer, **when it last propagated updates
+  to that peer** (the "last propagation time");
+* anti-entropy from ``j`` to ``i``: if nothing in ``j``'s replica
+  changed since the last propagation to ``i``, stop (constant time);
+  otherwise ``j`` *scans every item* for ``last_modified > last
+  propagation to i``, sends the resulting (name, seqno) list, and ``i``
+  copies every item whose sequence number on ``j`` is higher.
+
+Two deficiencies the paper proves and our experiments measure:
+
+1. **Redundant sessions (E4a).**  The modification-time test is against
+   *this pair's* last exchange, so replicas that became identical
+   through third parties still trigger a full O(N) scan plus a list
+   transfer — "Lotus incurs high overhead for attempting update
+   propagation between identical database replicas".
+
+2. **Incorrect conflict handling (E4b).**  Comparing scalar sequence
+   numbers cannot distinguish "newer" from "conflicting": if node A
+   updated an item twice and node B once, concurrently, A's copy (seq 2)
+   silently overwrites B's (seq 1) — a lost update, violating
+   correctness criterion C2.  Equal sequence numbers are tie-broken by
+   writer id (a modelling choice so benign workloads still converge;
+   any tie-break is equally wrong for conflicts).
+
+Whole-item copying, as in the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import WORD_SIZE
+from repro.errors import UnknownItemError
+from repro.interfaces import ProtocolNode, SyncStats, Transport
+from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
+from repro.substrate.operations import UpdateOperation
+
+__all__ = ["LotusNode"]
+
+
+@dataclass
+class _Doc:
+    """One Lotus 'document' replica: value, sequence number, local
+    modification time, and the last writer (tie-break only)."""
+
+    value: bytes = b""
+    seqno: int = 0
+    last_modified: int = 0
+    last_writer: int = -1
+
+    def stamp(self) -> tuple[int, int]:
+        """Adoption order: higher seqno wins; writer id breaks ties."""
+        return (self.seqno, self.last_writer)
+
+
+@dataclass(frozen=True)
+class _PropagationProbe:
+    """'Anything changed since you last propagated to me?'"""
+
+    requester: int
+
+    def wire_size(self) -> int:
+        return WORD_SIZE
+
+
+@dataclass(frozen=True)
+class _ChangeList:
+    """The (name, seqno, writer) list of items modified since the last
+    propagation to the requester — empty means 'nothing changed'."""
+
+    source: int
+    entries: tuple[tuple[str, int, int], ...]
+
+    def wire_size(self) -> int:
+        return WORD_SIZE + 3 * WORD_SIZE * len(self.entries)
+
+
+@dataclass(frozen=True)
+class _DocFetch:
+    requester: int
+    names: tuple[str, ...]
+
+    def wire_size(self) -> int:
+        return WORD_SIZE + WORD_SIZE * len(self.names)
+
+
+@dataclass(frozen=True)
+class _DocShipment:
+    source: int
+    docs: tuple[tuple[str, bytes, int, int], ...]  # name, value, seqno, writer
+
+    def wire_size(self) -> int:
+        return WORD_SIZE + sum(
+            3 * WORD_SIZE + len(value) for _n, value, _s, _w in self.docs
+        )
+
+
+class LotusNode(ProtocolNode):
+    """One replica under the Lotus Notes protocol model."""
+
+    protocol_name = "lotus"
+
+    def __init__(
+        self,
+        node_id: int,
+        n_nodes: int,
+        items: list[str] | tuple[str, ...],
+        counters: OverheadCounters = NULL_COUNTERS,
+    ):
+        super().__init__(node_id, n_nodes, counters)
+        self._docs: dict[str, _Doc] = {name: _Doc() for name in items}
+        # This server's local event clock; advanced by every update and
+        # every served propagation, so "modified since" is well ordered.
+        self._clock = 0
+        # When we last propagated updates to each peer, in *our* clock.
+        self._last_prop_to: dict[int, int] = {k: 0 for k in range(n_nodes)}
+        self._db_last_modified = 0
+
+    # -- user operations -----------------------------------------------------
+
+    def user_update(self, item: str, op: UpdateOperation) -> None:
+        doc = self._doc(item)
+        self._clock += 1
+        doc.value = op.apply(doc.value)
+        doc.seqno += 1
+        doc.last_modified = self._clock
+        doc.last_writer = self.node_id
+        self._db_last_modified = self._clock
+
+    def read(self, item: str) -> bytes:
+        return self._doc(item).value
+
+    def _doc(self, item: str) -> _Doc:
+        try:
+            return self._docs[item]
+        except KeyError:
+            raise UnknownItemError(item) from None
+
+    # -- anti-entropy ------------------------------------------------------------
+
+    def sync_with(self, peer: ProtocolNode, transport: Transport) -> SyncStats:
+        """Pull from ``peer`` (``peer`` is the source ``j`` of paper
+        section 8.1; this node is the recipient ``i``)."""
+        if not isinstance(peer, LotusNode):
+            raise TypeError(
+                f"cannot run Lotus replication against {type(peer).__name__}"
+            )
+        stats = SyncStats(messages=2)
+        probe = transport.deliver(
+            self.node_id, peer.node_id, _PropagationProbe(self.node_id)
+        )
+        change_list = peer._serve_probe(probe)
+        change_list = transport.deliver(peer.node_id, self.node_id, change_list)
+        if not change_list.entries:
+            stats.identical = True
+            return stats
+
+        wanted: list[str] = []
+        for name, seqno, writer in change_list.entries:
+            self.counters.seqno_comparisons += 1
+            if (seqno, writer) > self._doc(name).stamp():
+                wanted.append(name)
+        if not wanted:
+            # The list was all stale entries — work was done for nothing
+            # (the Lotus overhead the paper criticizes), but no data
+            # needs to move.
+            return stats
+
+        fetch = transport.deliver(
+            self.node_id, peer.node_id, _DocFetch(self.node_id, tuple(wanted))
+        )
+        shipment = peer._serve_fetch(fetch)
+        shipment = transport.deliver(peer.node_id, self.node_id, shipment)
+        stats.messages += 2
+        for name, value, seqno, writer in shipment.docs:
+            doc = self._doc(name)
+            # Blind adoption by sequence number: this is where Lotus can
+            # silently overwrite a conflicting concurrent update (E4b).
+            self._clock += 1
+            doc.value = value
+            doc.seqno = seqno
+            doc.last_writer = writer
+            doc.last_modified = self._clock
+            self._db_last_modified = self._clock
+            self.counters.items_copied += 1
+            stats.items_transferred += 1
+        return stats
+
+    def _serve_probe(self, probe: _PropagationProbe) -> _ChangeList:
+        """Source side of step 1 (paper section 8.1).
+
+        Constant time only when *nothing at all* changed since the last
+        propagation to this requester; otherwise a full scan of all N
+        items — the cost experiment E1/E4a measures.
+        """
+        since = self._last_prop_to[probe.requester]
+        self.counters.seqno_comparisons += 1
+        if self._db_last_modified <= since:
+            return _ChangeList(self.node_id, ())
+        entries = []
+        for name, doc in self._docs.items():
+            self.counters.items_scanned += 1
+            if doc.last_modified > since:
+                entries.append((name, doc.seqno, doc.last_writer))
+        self._last_prop_to[probe.requester] = self._clock
+        return _ChangeList(self.node_id, tuple(entries))
+
+    def _serve_fetch(self, fetch: _DocFetch) -> _DocShipment:
+        docs = tuple(
+            (name, self._docs[name].value, self._docs[name].seqno,
+             self._docs[name].last_writer)
+            for name in fetch.names
+        )
+        return _DocShipment(self.node_id, docs)
+
+    # -- introspection --------------------------------------------------------------
+
+    def state_fingerprint(self) -> dict[str, bytes]:
+        return {name: doc.value for name, doc in self._docs.items()}
+
+    def seqno_of(self, item: str) -> int:
+        """The item's Lotus sequence number (test aid)."""
+        return self._doc(item).seqno

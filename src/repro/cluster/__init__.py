@@ -1,0 +1,66 @@
+"""Deterministic cluster simulation.
+
+* :mod:`repro.cluster.events` — discrete-event engine.
+* :mod:`repro.cluster.network` — crash/partition/loss-aware transport
+  with traffic accounting.
+* :mod:`repro.cluster.scheduler` — peer-selection policies (random,
+  ring, star, arbitrary topology).
+* :mod:`repro.cluster.failures` — declarative failure plans, including
+  the mid-push crash used by experiment E5.
+* :mod:`repro.cluster.convergence` — convergence checks and ground-truth
+  staleness tracking.
+* :mod:`repro.cluster.simulation` — the round-based driver that runs any
+  protocol under identical conditions.
+"""
+
+from repro.cluster.convergence import (
+    GroundTruth,
+    StalenessSample,
+    divergence_report,
+    fingerprints_equal,
+)
+from repro.cluster.event_sim import EventDrivenSimulation, NodeSchedule
+from repro.cluster.events import EventHandle, EventLoop
+from repro.cluster.failures import (
+    Crash,
+    CrashAfterPartialPush,
+    FailurePlan,
+    HealEvent,
+    PartitionEvent,
+    Recover,
+)
+from repro.cluster.network import LinkStats, SimulatedNetwork
+from repro.cluster.scheduler import (
+    PeerSelector,
+    RandomSelector,
+    RingSelector,
+    StarSelector,
+    TopologySelector,
+)
+from repro.cluster.simulation import ClusterSimulation, RoundStats
+
+__all__ = [
+    "GroundTruth",
+    "StalenessSample",
+    "divergence_report",
+    "fingerprints_equal",
+    "EventDrivenSimulation",
+    "NodeSchedule",
+    "EventHandle",
+    "EventLoop",
+    "Crash",
+    "CrashAfterPartialPush",
+    "FailurePlan",
+    "HealEvent",
+    "PartitionEvent",
+    "Recover",
+    "LinkStats",
+    "SimulatedNetwork",
+    "PeerSelector",
+    "RandomSelector",
+    "RingSelector",
+    "StarSelector",
+    "TopologySelector",
+    "ClusterSimulation",
+    "RoundStats",
+]

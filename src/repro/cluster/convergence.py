@@ -1,0 +1,118 @@
+"""Convergence checking and ground-truth staleness tracking.
+
+Two protocol-agnostic instruments:
+
+* :func:`fingerprints_equal` / :func:`divergence_report` compare replica
+  snapshots pair-wise — the test-suite's definition of "converged"
+  (correctness criterion C3: when update activity stops, all replicas
+  catch up).
+
+* :class:`GroundTruth` maintains the would-be state of a hypothetical
+  replica that saw every user update instantly, in global order.  A
+  (node, item) pair is *stale* when the node's value differs from the
+  ground truth; staleness-over-time is how experiment E5 quantifies the
+  failure-vulnerability of push-without-forwarding (paper section 8.2).
+  Ground truth is only meaningful for conflict-free histories (with
+  concurrent conflicting updates there is no single truth — which is
+  the point of conflict detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interfaces import ProtocolNode
+from repro.substrate.operations import UpdateOperation
+
+__all__ = [
+    "fingerprints_equal",
+    "divergence_report",
+    "GroundTruth",
+    "StalenessSample",
+]
+
+
+def fingerprints_equal(nodes: list[ProtocolNode]) -> bool:
+    """True when every replica's durable snapshot is identical."""
+    if len(nodes) < 2:
+        return True
+    reference = nodes[0].state_fingerprint()
+    return all(node.state_fingerprint() == reference for node in nodes[1:])
+
+
+def divergence_report(nodes: list[ProtocolNode]) -> dict[str, int]:
+    """``{item: number of distinct values across replicas}`` for every
+    item that has more than one distinct value — empty means converged.
+    """
+    by_item: dict[str, set[bytes]] = {}
+    for node in nodes:
+        for item, value in node.state_fingerprint().items():
+            by_item.setdefault(item, set()).add(value)
+    return {
+        item: len(values) for item, values in by_item.items() if len(values) > 1
+    }
+
+
+@dataclass(frozen=True)
+class StalenessSample:
+    """Staleness measured at one observation point."""
+
+    time: float
+    stale_pairs: int
+    stale_nodes: int
+
+
+@dataclass
+class GroundTruth:
+    """The state of an imaginary replica that sees every update at once.
+
+    Feed it every user update (in the global order the simulation issues
+    them) via :meth:`apply`; sample cluster staleness with
+    :meth:`observe`.
+    """
+
+    items: tuple[str, ...]
+    _values: dict[str, bytes] = field(init=False)
+    samples: list[StalenessSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._values = {item: b"" for item in self.items}
+
+    def apply(self, item: str, op: UpdateOperation) -> None:
+        """Record a user update in global order."""
+        self._values[item] = op.apply(self._values[item])
+
+    def value(self, item: str) -> bytes:
+        return self._values[item]
+
+    def stale_pairs(self, nodes: list[ProtocolNode]) -> int:
+        """Count of (node, item) pairs whose value lags the ground truth."""
+        stale = 0
+        for node in nodes:
+            snapshot = node.state_fingerprint()
+            for item, truth in self._values.items():
+                if snapshot.get(item, b"") != truth:
+                    stale += 1
+        return stale
+
+    def observe(self, time: float, nodes: list[ProtocolNode]) -> StalenessSample:
+        """Sample staleness now and append it to ``samples``."""
+        stale_nodes = 0
+        stale_pairs = 0
+        for node in nodes:
+            snapshot = node.state_fingerprint()
+            node_stale = sum(
+                1
+                for item, truth in self._values.items()
+                if snapshot.get(item, b"") != truth
+            )
+            stale_pairs += node_stale
+            if node_stale:
+                stale_nodes += 1
+        sample = StalenessSample(time, stale_pairs, stale_nodes)
+        self.samples.append(sample)
+        return sample
+
+    def fully_current(self, nodes: list[ProtocolNode]) -> bool:
+        """True when no replica lags the ground truth anywhere."""
+        return self.stale_pairs(nodes) == 0

@@ -1,0 +1,139 @@
+"""Failure injection.
+
+The failure model matches the paper's discussion (section 8.2):
+fail-stop server crashes with eventual repair — a crashed server loses
+no durable state, it simply stops participating until recovery.  The
+injector drives a :class:`~repro.cluster.network.SimulatedNetwork`
+(so in-flight sessions abort) and notifies an optional listener (the
+cluster simulation uses this to skip crashed nodes when scheduling).
+
+Plans are declarative so experiments read as data::
+
+    plan = FailurePlan([
+        Crash(node=0, at_round=3),
+        Recover(node=0, at_round=20),
+    ])
+
+The E5 experiment's signature scenario — the originator crashing
+*mid-push*, after only some recipients got the new data — is modelled
+by :class:`CrashAfterPartialPush`, which the Oracle baseline consults
+between per-peer transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.network import SimulatedNetwork
+
+__all__ = [
+    "Crash",
+    "Recover",
+    "PartitionEvent",
+    "HealEvent",
+    "FailurePlan",
+    "CrashAfterPartialPush",
+]
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Take ``node`` down at the start of ``at_round``."""
+
+    node: int
+    at_round: int
+
+
+@dataclass(frozen=True)
+class Recover:
+    """Bring ``node`` back at the start of ``at_round``."""
+
+    node: int
+    at_round: int
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """Split the network into ``groups`` at the start of ``at_round``."""
+
+    groups: tuple[tuple[int, ...], ...]
+    at_round: int
+
+
+@dataclass(frozen=True)
+class HealEvent:
+    """Remove all partitions at the start of ``at_round``."""
+
+    at_round: int
+
+
+@dataclass
+class FailurePlan:
+    """An ordered script of failure events keyed by round number."""
+
+    events: list[Crash | Recover | PartitionEvent | HealEvent] = field(
+        default_factory=list
+    )
+
+    def apply_round(self, round_no: int, network: SimulatedNetwork) -> list[object]:
+        """Fire every event scheduled for ``round_no``; returns them."""
+        fired: list[object] = []
+        for event in self.events:
+            if event.at_round != round_no:
+                continue
+            if isinstance(event, Crash):
+                network.set_down(event.node)
+            elif isinstance(event, Recover):
+                network.set_up(event.node)
+            elif isinstance(event, PartitionEvent):
+                network.partition([list(group) for group in event.groups])
+            else:
+                network.heal()
+            fired.append(event)
+        return fired
+
+    def crashed_through(self, round_no: int) -> set[int]:
+        """Nodes that are down as of (the start of) ``round_no``."""
+        down: set[int] = set()
+        for event in sorted(
+            (e for e in self.events if isinstance(e, (Crash, Recover))),
+            key=lambda e: e.at_round,
+        ):
+            if event.at_round > round_no:
+                break
+            if isinstance(event, Crash):
+                down.add(event.node)
+            else:
+                down.discard(event.node)
+        return down
+
+
+@dataclass
+class CrashAfterPartialPush:
+    """Crash ``node`` after it has pushed to ``after_peers`` recipients.
+
+    The Oracle-style baseline checks :meth:`should_crash_now` after each
+    per-peer transfer of a push round; when it fires, the injector takes
+    the node down on the spot, leaving the remaining recipients without
+    the update — the exact vulnerability of paper section 8.2.
+    """
+
+    node: int
+    after_peers: int
+    _pushes_seen: int = field(default=0, init=False)
+    fired: bool = field(default=False, init=False)
+
+    def note_push(self, src: int) -> None:
+        """Record one completed per-peer transfer by ``src``."""
+        if src == self.node and not self.fired:
+            self._pushes_seen += 1
+
+    def should_crash_now(self, src: int, network: SimulatedNetwork) -> bool:
+        """Crash the node when its transfer quota is reached."""
+        if src != self.node or self.fired:
+            return False
+        if self._pushes_seen >= self.after_peers:
+            network.set_down(self.node)
+            self.fired = True
+            return True
+        return False

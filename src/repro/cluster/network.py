@@ -1,0 +1,189 @@
+"""The simulated network.
+
+Implements the :class:`~repro.interfaces.Transport` contract with the
+properties the experiments need:
+
+* **liveness** — messages to or from a crashed node raise
+  :class:`~repro.errors.NodeDownError` (the sender notices; sessions
+  abort cleanly, like a failed dial-up);
+* **partitions** — nodes can be split into groups that cannot reach
+  each other;
+* **loss** — an optional independent per-message drop probability,
+  deterministic under the injected RNG;
+* **accounting** — global and per-link message/byte counters, plus the
+  per-protocol counters sink, so traffic experiments (E8) can attribute
+  every byte.
+
+Latency is modelled as a per-link cost accumulated into ``latency_total``
+for reporting; it does not reorder events (anti-entropy sessions are
+atomic at the simulation's time granularity, which matches the paper's
+round-level reasoning).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import MessageLostError, NodeDownError, UnknownNodeError
+from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
+
+__all__ = ["LinkStats", "SimulatedNetwork"]
+
+
+@dataclass
+class LinkStats:
+    """Traffic totals for one directed link."""
+
+    messages: int = 0
+    bytes: int = 0
+
+
+@dataclass
+class SimulatedNetwork:
+    """A crash/partition/loss-aware message fabric for ``n_nodes``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Size of the replica set.
+    counters:
+        Global sink charged for every delivered message.
+    loss_rate:
+        Probability each message is independently dropped (0 disables).
+    rng:
+        Randomness source for loss; required when ``loss_rate > 0`` so
+        experiments stay reproducible.
+    link_latency:
+        Simulated cost units accumulated per delivered message.
+    """
+
+    n_nodes: int
+    counters: OverheadCounters = field(default_factory=lambda: NULL_COUNTERS)
+    loss_rate: float = 0.0
+    rng: random.Random | None = None
+    link_latency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.loss_rate > 0.0 and self.rng is None:
+            raise ValueError("loss_rate > 0 requires an explicit rng")
+        self._up = [True] * self.n_nodes
+        # Partition groups: equal group ids can reach each other.  All
+        # nodes start in one group (no partitions).
+        self._group_of = [0] * self.n_nodes
+        self._links: dict[tuple[int, int], LinkStats] = {}
+        self.latency_total = 0.0
+        self.messages_dropped = 0
+
+    # -- liveness ------------------------------------------------------------
+
+    def is_up(self, node: int) -> bool:
+        self._check_node(node)
+        return self._up[node]
+
+    def set_down(self, node: int) -> None:
+        """Crash ``node``: no messages flow to or from it."""
+        self._check_node(node)
+        self._up[node] = False
+
+    def set_up(self, node: int) -> None:
+        """Recover ``node``."""
+        self._check_node(node)
+        self._up[node] = True
+
+    def add_node(self) -> int:
+        """Grow the fabric by one node (dynamic-membership extension);
+        returns the new node's id.  The newcomer starts up and joins
+        the default partition group."""
+        new_id = self.n_nodes
+        self.n_nodes += 1
+        self._up.append(True)
+        self._group_of.append(0)
+        return new_id
+
+    # -- partitions ------------------------------------------------------------
+
+    def partition(self, groups: list[list[int]]) -> None:
+        """Split the network into the given groups; unlisted nodes each
+        form a singleton group.  Nodes in different groups cannot
+        exchange messages until :meth:`heal`.
+        """
+        assignment: dict[int, int] = {}
+        for gid, group in enumerate(groups):
+            for node in group:
+                self._check_node(node)
+                if node in assignment:
+                    raise ValueError(f"node {node} listed in two partition groups")
+                assignment[node] = gid
+        next_gid = len(groups)
+        for node in range(self.n_nodes):
+            if node not in assignment:
+                assignment[node] = next_gid
+                next_gid += 1
+        self._group_of = [assignment[node] for node in range(self.n_nodes)]
+
+    def heal(self) -> None:
+        """Remove all partitions (crashed nodes stay crashed)."""
+        self._group_of = [0] * self.n_nodes
+
+    def can_reach(self, src: int, dst: int) -> bool:
+        """True when a message from ``src`` could currently reach ``dst``."""
+        self._check_node(src)
+        self._check_node(dst)
+        return (
+            self._up[src]
+            and self._up[dst]
+            and self._group_of[src] == self._group_of[dst]
+        )
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver(self, src: int, dst: int, message):
+        """Deliver ``message`` from ``src`` to ``dst``, charging traffic.
+
+        Raises :class:`NodeDownError` when either endpoint is down or the
+        endpoints are partitioned apart, :class:`MessageLostError` when
+        the loss model drops the message.  Charges are made only for
+        messages that actually leave the sender (a down destination is
+        detected at connect time, before bytes flow — sessions are
+        connection-oriented, as a dial-up link would be).
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if not self._up[src]:
+            raise NodeDownError(src)
+        if not self._up[dst] or self._group_of[src] != self._group_of[dst]:
+            raise NodeDownError(dst)
+        if self.loss_rate > 0.0:
+            assert self.rng is not None
+            if self.rng.random() < self.loss_rate:
+                self.messages_dropped += 1
+                raise MessageLostError(src, dst)
+        size = message.wire_size()
+        self.counters.messages_sent += 1
+        self.counters.bytes_sent += size
+        link = self._links.setdefault((src, dst), LinkStats())
+        link.messages += 1
+        link.bytes += size
+        self.latency_total += self.link_latency
+        return message
+
+    # -- accounting ------------------------------------------------------------
+
+    def link_stats(self, src: int, dst: int) -> LinkStats:
+        """Traffic totals for the directed link ``src -> dst``."""
+        return self._links.get((src, dst), LinkStats())
+
+    def total_messages(self) -> int:
+        return sum(link.messages for link in self._links.values())
+
+    def total_bytes(self) -> int:
+        return sum(link.bytes for link in self._links.values())
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise UnknownNodeError(node)

@@ -1,0 +1,297 @@
+"""The cluster simulation: protocols under identical conditions.
+
+:class:`ClusterSimulation` wires together ``n`` protocol nodes (any
+:class:`~repro.interfaces.ProtocolNode` implementation), a
+:class:`~repro.cluster.network.SimulatedNetwork`, a peer-selection
+policy, an optional failure plan, and ground-truth staleness tracking.
+Time advances in *rounds*: at the start of each round the failure plan
+fires, then every live node performs one synchronization with the peer
+its selector chose (crashed peers make the session fail, like a dead
+dial-up number).  User updates are applied between rounds by the caller
+or a workload driver.
+
+Everything is driven by one seeded :class:`random.Random`, so a
+simulation is a pure function of (factory, selector, plan, workload,
+seed) — the experiments rely on that to be re-runnable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cluster.convergence import GroundTruth, fingerprints_equal
+from repro.cluster.coverage import TransitiveCoverageTracker
+from repro.cluster.failures import FailurePlan
+from repro.cluster.network import SimulatedNetwork
+from repro.cluster.scheduler import PeerSelector, RandomSelector
+from repro.errors import MessageLostError, NodeDownError
+from repro.interfaces import ProtocolNode, SyncStats
+from repro.metrics.counters import OverheadCounters
+from repro.substrate.operations import UpdateOperation
+
+__all__ = ["RoundStats", "ClusterSimulation"]
+
+
+@dataclass
+class RoundStats:
+    """What happened during one simulation round."""
+
+    round_no: int
+    sessions: int = 0
+    identical_sessions: int = 0
+    failed_sessions: int = 0
+    items_transferred: int = 0
+    conflicts: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+    stale_pairs: int | None = None
+
+
+@dataclass
+class ClusterSimulation:
+    """``n`` replicas of one database under one protocol.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(node_id, counters) -> ProtocolNode``; called once per
+        node.  Each node gets its own counters object so per-node work
+        is attributable; :attr:`total_counters` merges them on demand.
+    n_nodes:
+        Replica set size.
+    items:
+        The database schema (shared by the ground-truth tracker).
+    selector:
+        Peer-selection policy (default: uniform random pull).
+    failure_plan:
+        Declarative crash/recover/partition script (default: none).
+    seed:
+        Seed for the simulation's single RNG.
+    """
+
+    factory: Callable[[int, OverheadCounters], ProtocolNode]
+    n_nodes: int
+    items: Sequence[str]
+    selector: PeerSelector = field(default_factory=RandomSelector)
+    failure_plan: FailurePlan = field(default_factory=FailurePlan)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+        self.network_counters = OverheadCounters()
+        self.network = SimulatedNetwork(self.n_nodes, counters=self.network_counters)
+        self.node_counters = [OverheadCounters() for _ in range(self.n_nodes)]
+        self.nodes: list[ProtocolNode] = [
+            self.factory(node_id, self.node_counters[node_id])
+            for node_id in range(self.n_nodes)
+        ]
+        self.ground_truth = GroundTruth(tuple(self.items))
+        self.coverage = TransitiveCoverageTracker(self.n_nodes)
+        self.round_no = 0
+        self.history: list[RoundStats] = []
+
+    # -- workload entry points ---------------------------------------------------
+
+    def apply_update(self, node_id: int, item: str, op: UpdateOperation) -> None:
+        """Apply one user update at ``node_id`` and record it in the
+        ground truth.  Updating a crashed node raises — users of a down
+        server get an error, they don't silently update elsewhere.
+        """
+        if not self.network.is_up(node_id):
+            raise NodeDownError(node_id)
+        self.nodes[node_id].user_update(item, op)
+        self.ground_truth.apply(item, op)
+
+    def up_nodes(self) -> list[int]:
+        """Ids of currently live nodes."""
+        return [k for k in range(self.n_nodes) if self.network.is_up(k)]
+
+    def add_node(
+        self,
+        build: Callable[[int, OverheadCounters, int], ProtocolNode],
+    ) -> int:
+        """Grow the cluster by one replica (dynamic-membership extension).
+
+        ``build(node_id, counters, n_nodes)`` constructs the newcomer
+        for the *new* replica-set size.  Every existing node's view is
+        expanded first (nodes must expose ``expand_replica_set`` — the
+        DBVV protocol adapters do; the baselines predate the extension),
+        then the fresh all-zero replica joins and catches up through
+        ordinary propagation.  Returns the new node's id.
+        """
+        new_n = self.n_nodes + 1
+        for node in self.nodes:
+            expand = getattr(node, "expand_replica_set", None)
+            if expand is None:
+                raise TypeError(
+                    f"{type(node).__name__} does not support dynamic "
+                    "membership"
+                )
+            expand(new_n)
+        new_id = self.network.add_node()
+        counters = OverheadCounters()
+        self.node_counters.append(counters)
+        newcomer = build(new_id, counters, new_n)
+        if newcomer.node_id != new_id or newcomer.n_nodes != new_n:
+            raise ValueError(
+                f"build() returned a node for id {newcomer.node_id}/"
+                f"{newcomer.n_nodes}, expected {new_id}/{new_n}"
+            )
+        self.nodes.append(newcomer)
+        self.n_nodes = new_n
+        # Theorem 5 coverage restarts: the premise must be re-satisfied
+        # over the enlarged replica set.
+        self.coverage = TransitiveCoverageTracker(new_n)
+        return new_id
+
+    # -- round execution ---------------------------------------------------------
+
+    def run_round(self) -> RoundStats:
+        """One round: failure events, then one session per live node.
+
+        Sessions run in a random order each round (not ascending node
+        id): real anti-entropy sessions are concurrent, and a fixed
+        order would let one round cascade an update across the whole
+        cluster, flattering every schedule's convergence numbers.
+        """
+        self.round_no += 1
+        self.failure_plan.apply_round(self.round_no, self.network)
+        stats = RoundStats(self.round_no)
+        msgs_before = self.network_counters.messages_sent
+        bytes_before = self.network_counters.bytes_sent
+        order = list(range(self.n_nodes))
+        self.rng.shuffle(order)
+        for node_id in order:
+            if not self.network.is_up(node_id):
+                continue
+            peer = self.selector.peer_for(node_id, self.n_nodes, self.round_no, self.rng)
+            self._run_session(node_id, peer, stats)
+        stats.messages = self.network_counters.messages_sent - msgs_before
+        stats.bytes_sent = self.network_counters.bytes_sent - bytes_before
+        stats.stale_pairs = self.ground_truth.stale_pairs(self.nodes)
+        self.history.append(stats)
+        return stats
+
+    def run_full_mesh_round(self) -> RoundStats:
+        """One round where every ordered pair synchronizes once.
+
+        Used by experiments that must guarantee transitive coverage in a
+        single round (e.g. measuring per-session costs without peer-
+        selection noise).
+        """
+        self.round_no += 1
+        self.failure_plan.apply_round(self.round_no, self.network)
+        stats = RoundStats(self.round_no)
+        msgs_before = self.network_counters.messages_sent
+        bytes_before = self.network_counters.bytes_sent
+        for node_id in range(self.n_nodes):
+            if not self.network.is_up(node_id):
+                continue
+            for peer in range(self.n_nodes):
+                if peer == node_id:
+                    continue
+                self._run_session(node_id, peer, stats)
+        stats.messages = self.network_counters.messages_sent - msgs_before
+        stats.bytes_sent = self.network_counters.bytes_sent - bytes_before
+        stats.stale_pairs = self.ground_truth.stale_pairs(self.nodes)
+        self.history.append(stats)
+        return stats
+
+    def _run_session(self, node_id: int, peer: int, stats: RoundStats) -> SyncStats:
+        stats.sessions += 1
+        if not self.network.can_reach(node_id, peer):
+            stats.failed_sessions += 1
+            return SyncStats(failed=True)
+        try:
+            session = self.nodes[node_id].sync_with(self.nodes[peer], self.network)
+        except (NodeDownError, MessageLostError):
+            stats.failed_sessions += 1
+            return SyncStats(failed=True)
+        if session.failed:
+            stats.failed_sessions += 1
+            return session
+        # Successful sessions (including you-are-current answers) build
+        # Theorem 5's transitive coverage: data and knowledge flowed.
+        self.coverage.record_session(node_id, peer, time=float(self.round_no))
+        if session.identical:
+            stats.identical_sessions += 1
+        stats.items_transferred += session.items_transferred
+        stats.conflicts += session.conflicts
+        return session
+
+    # -- convergence ---------------------------------------------------------------
+
+    def converged(self) -> bool:
+        """True when all live replicas hold identical durable state.
+
+        Crashed nodes are excluded — they will catch up after recovery
+        (criterion C3 speaks of eventual catch-up).
+        """
+        live = [self.nodes[k] for k in self.up_nodes()]
+        return fingerprints_equal(live)
+
+    def _plan_pending(self) -> bool:
+        """True while the failure plan still has unfired events — a
+        scheduled recovery can reintroduce divergence, so convergence
+        must not be declared before the plan has fully played out."""
+        return any(e.at_round > self.round_no for e in self.failure_plan.events)
+
+    def run_until_converged(self, max_rounds: int = 1000, quiesce: bool = True) -> int:
+        """Run rounds until live replicas converge; returns the count.
+
+        ``quiesce`` asserts the workload has stopped (criterion C3 is
+        about convergence after update activity stops); a non-converged
+        state after ``max_rounds`` raises, because silent non-convergence
+        is exactly the failure mode the experiments must catch.
+        """
+        for _ in range(max_rounds):
+            if not self._plan_pending() and self.converged():
+                return self.round_no
+            self.run_round()
+        if self.converged():
+            return self.round_no
+        raise AssertionError(
+            f"replicas failed to converge within {max_rounds} rounds "
+            f"(protocol={self.nodes[0].protocol_name}, "
+            f"selector={self.selector.describe()})"
+        )
+
+    # -- accounting ------------------------------------------------------------------
+
+    def history_table(self, title: str = "Simulation rounds"):
+        """The per-round stats as a printable/CSV-able report table."""
+        from repro.metrics.reporting import Table
+
+        table = Table(
+            title,
+            ["round", "sessions", "identical", "failed", "items moved",
+             "conflicts", "msgs", "bytes", "stale pairs"],
+        )
+        for stats in self.history:
+            table.add_row([
+                stats.round_no,
+                stats.sessions,
+                stats.identical_sessions,
+                stats.failed_sessions,
+                stats.items_transferred,
+                stats.conflicts,
+                stats.messages,
+                stats.bytes_sent,
+                stats.stale_pairs if stats.stale_pairs is not None else "-",
+            ])
+        return table
+
+    @property
+    def total_counters(self) -> OverheadCounters:
+        """All per-node counters plus network traffic, merged."""
+        merged = OverheadCounters()
+        for counters in self.node_counters:
+            merged = merged.merged_with(counters)
+        merged.messages_sent += self.network_counters.messages_sent
+        merged.bytes_sent += self.network_counters.bytes_sent
+        return merged
+
+    def total_conflicts(self) -> int:
+        return sum(node.conflict_count() for node in self.nodes)

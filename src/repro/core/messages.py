@@ -1,0 +1,133 @@
+"""Protocol messages with wire-size accounting.
+
+The experiments compare protocols on traffic as well as computation, so
+every message models its encoded size.  Size model (consistent across the
+core protocol and all baselines):
+
+* scalar / sequence number / name reference: 8 bytes,
+* version vector over ``n`` nodes: ``8 * n`` bytes,
+* regular log record: :data:`~repro.core.log_vector.LOG_RECORD_WIRE_SIZE`
+  (constant — the paper stresses regular records are "very short"),
+* item payload: the value's length plus its IVV plus a name reference.
+
+These are simulation constants, not a serialization format: the paper's
+claims are about asymptotics (constant metadata per shipped item), which
+any reasonable constant preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.log_vector import LOG_RECORD_WIRE_SIZE
+from repro.core.version_vector import VersionVector
+
+__all__ = [
+    "WORD_SIZE",
+    "vv_wire_size",
+    "ItemPayload",
+    "PropagationRequest",
+    "YouAreCurrent",
+    "PropagationReply",
+    "OutOfBoundRequest",
+    "OutOfBoundReply",
+]
+
+WORD_SIZE = 8
+"""Modelled size of one scalar field on the wire."""
+
+
+def vv_wire_size(vv: VersionVector) -> int:
+    """Modelled encoded size of a version vector."""
+    return WORD_SIZE * len(vv)
+
+
+@dataclass(frozen=True)
+class ItemPayload:
+    """One entry of the item set S: a whole item copy plus its IVV.
+
+    The paper presents whole-data-copying (section 2); shipping log
+    records of missing updates instead would change only this payload.
+    """
+
+    name: str
+    value: bytes
+    ivv: VersionVector
+
+    def wire_size(self) -> int:
+        return WORD_SIZE + len(self.value) + vv_wire_size(self.ivv)
+
+
+@dataclass(frozen=True)
+class PropagationRequest:
+    """Step 1 of update propagation: recipient ``i`` sends its DBVV."""
+
+    recipient: int
+    dbvv: VersionVector
+
+    def wire_size(self) -> int:
+        return WORD_SIZE + vv_wire_size(self.dbvv)
+
+
+@dataclass(frozen=True)
+class YouAreCurrent:
+    """SendPropagation's constant-size 'no propagation needed' answer."""
+
+    source: int
+
+    def wire_size(self) -> int:
+        return WORD_SIZE
+
+
+@dataclass(frozen=True)
+class PropagationReply:
+    """SendPropagation's answer when the recipient is behind.
+
+    ``tails``  — the tail vector D: ``tails[k]`` lists ``(item, seqno)``
+                 pairs of updates originated at ``k`` that the recipient
+                 misses, oldest first (``None``/empty when up to date
+                 for that origin).
+    ``items``  — the set S of item payloads referenced by D, each with
+                 its IVV (paper Fig. 2 sends IVVs along).
+    """
+
+    source: int
+    tails: tuple[tuple[tuple[str, int], ...], ...]
+    items: tuple[ItemPayload, ...]
+
+    def record_count(self) -> int:
+        return sum(len(tail) for tail in self.tails)
+
+    def wire_size(self) -> int:
+        return (
+            WORD_SIZE
+            + self.record_count() * LOG_RECORD_WIRE_SIZE
+            + sum(payload.wire_size() for payload in self.items)
+        )
+
+
+@dataclass(frozen=True)
+class OutOfBoundRequest:
+    """A request to copy one item immediately (paper section 5.2)."""
+
+    requester: int
+    item: str
+
+    def wire_size(self) -> int:
+        return 2 * WORD_SIZE
+
+
+@dataclass(frozen=True)
+class OutOfBoundReply:
+    """The source's current copy of the item — auxiliary if it has one
+    (never older than its regular copy), with the matching IVV.  No log
+    records travel with out-of-bound data (paper section 5.2).
+    """
+
+    source: int
+    item: str
+    value: bytes
+    ivv: VersionVector = field(repr=False)
+
+    def wire_size(self) -> int:
+        return 2 * WORD_SIZE + len(self.value) + vv_wire_size(self.ivv)

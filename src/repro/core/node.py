@@ -1,0 +1,561 @@
+"""The epidemic replica node (paper section 5).
+
+:class:`EpidemicNode` binds the data structures of section 4 together and
+implements the three protocol activities:
+
+* **Updating** (section 5.3) — a user update lands on the auxiliary copy
+  when one exists, otherwise on the regular copy (incrementing the IVV,
+  the DBVV, and appending a regular log record).
+* **Update propagation** (section 5.1, Figs. 2–3) — the recipient sends
+  its DBVV; the source answers either "you are current" (O(1)) or with a
+  tail vector D plus item set S built in O(m); the recipient adopts
+  dominating copies, flags conflicts, appends log tails, and finally runs
+  intra-node propagation (Fig. 4) to replay deferred out-of-bound
+  updates.
+* **Out-of-bound copying** (section 5.2) — a single item fetched outside
+  the schedule becomes an auxiliary copy; regular structures are never
+  touched, so the per-origin prefix ordering that DBVV/log correctness
+  rests on is preserved.
+
+The node is a passive state machine: it has no I/O or timing of its own.
+The cluster simulation (:mod:`repro.cluster.simulation`) moves messages
+between nodes; unit tests call the handlers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.auxiliary import AuxiliaryLog
+from repro.core.conflicts import ConflictReporter, ConflictSite
+from repro.core.dbvv import DatabaseVersionVector
+from repro.core.items import DataItem, ItemStore
+from repro.core.log_vector import LogVector
+from repro.core.messages import (
+    ItemPayload,
+    OutOfBoundReply,
+    OutOfBoundRequest,
+    PropagationReply,
+    PropagationRequest,
+    YouAreCurrent,
+)
+from repro.core.version_vector import Ordering, VersionVector
+from repro.errors import UnknownItemError
+from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
+from repro.substrate.operations import UpdateOperation
+
+__all__ = ["EpidemicNode", "AcceptOutcome", "IntraNodeOutcome"]
+
+
+@dataclass
+class AcceptOutcome:
+    """What AcceptPropagation did, for callers and tests.
+
+    ``adopted``    — items whose incoming copy dominated and was adopted.
+    ``skipped``    — items whose incoming copy did not dominate and was
+                     not concurrent either (equal — can only arise on the
+                     conflict-recovery path; the paper's normal case never
+                     produces it, see the inline comment in
+                     ``accept_propagation``).
+    ``conflicted`` — items declared inconsistent.
+    ``records_appended`` / ``records_dropped`` — log-tail bookkeeping.
+    """
+
+    adopted: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    conflicted: list[str] = field(default_factory=list)
+    records_appended: int = 0
+    records_dropped: int = 0
+
+
+@dataclass
+class IntraNodeOutcome:
+    """What IntraNodePropagation did."""
+
+    replayed: int = 0
+    auxiliaries_discarded: list[str] = field(default_factory=list)
+    conflicts: list[str] = field(default_factory=list)
+
+
+class EpidemicNode:
+    """One server's replica of the database plus the protocol state.
+
+    Parameters
+    ----------
+    node_id:
+        This server's index in the fixed replica set ``0..n_nodes-1``.
+    n_nodes:
+        Size of the replica set (fixed for the database's lifetime,
+        paper section 2).
+    item_names:
+        The database schema; identical on every replica.
+    counters:
+        Where this node charges its work; defaults to a do-nothing sink.
+    conflict_reporter:
+        Receives every detected inconsistency; a fresh recording
+        reporter is created when omitted.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n_nodes: int,
+        item_names: list[str] | tuple[str, ...],
+        counters: OverheadCounters = NULL_COUNTERS,
+        conflict_reporter: ConflictReporter | None = None,
+    ):
+        if not 0 <= node_id < n_nodes:
+            raise ValueError(f"node_id {node_id} outside replica set 0..{n_nodes - 1}")
+        self.node_id = node_id
+        self.n_nodes = n_nodes
+        self.counters = counters
+        self.conflicts = conflict_reporter if conflict_reporter is not None else ConflictReporter()
+        self.dbvv = DatabaseVersionVector(n_nodes)
+        self.log = LogVector(n_nodes)
+        self.store = ItemStore(n_nodes, list(item_names))
+        self.aux_log = AuxiliaryLog()
+
+    # ------------------------------------------------------------------
+    # User operations (paper section 5.3)
+    # ------------------------------------------------------------------
+
+    def read(self, item: str) -> bytes:
+        """The value a user sees: the auxiliary copy when one exists."""
+        return self.store[item].current_value()
+
+    def update(self, item: str, op: UpdateOperation) -> None:
+        """Apply a user update at this node (paper section 5.3).
+
+        With an auxiliary copy present the update goes to the auxiliary
+        value/IVV and is remembered in the auxiliary log; otherwise it
+        goes to the regular copy, bumping the IVV's own component, the
+        DBVV's own component, and appending ``(item, V_ii)`` to
+        ``L_i[i]``.
+        """
+        entry = self.store[item]
+        if entry.has_auxiliary:
+            assert entry.aux_ivv is not None and entry.aux_value is not None
+            self.aux_log.append(item, entry.aux_ivv, op)
+            entry.aux_value = op.apply(entry.aux_value)
+            entry.aux_ivv.increment(self.node_id)
+        else:
+            entry.value = op.apply(entry.value)
+            entry.ivv.increment(self.node_id)
+            self.dbvv.record_local_update_by(self.node_id)
+            self.log.add(
+                self.node_id, item, self.dbvv[self.node_id], self.counters
+            )
+            self._record_regular_update(entry, op)
+
+    # ------------------------------------------------------------------
+    # Extension hooks (overridden by the operation-shipping variant in
+    # :mod:`repro.core.delta`; the base protocol copies whole items,
+    # the paper's presentation context)
+    # ------------------------------------------------------------------
+
+    def _record_regular_update(self, entry: DataItem, op: UpdateOperation) -> None:
+        """Called after every update applied to a regular copy (user
+        updates and intra-node replays).  The base protocol needs no
+        extra bookkeeping."""
+
+    def _payload_for(self, entry: DataItem, remote_dbvv: VersionVector) -> ItemPayload:
+        """Build the propagation payload for one selected item.
+
+        ``remote_dbvv`` is the recipient's DBVV from the request — the
+        operation-shipping variant uses it to select exactly the update
+        records the recipient misses."""
+        return ItemPayload(entry.name, entry.value, entry.ivv.copy())
+
+    def _install_payload(self, entry: DataItem, payload: ItemPayload) -> None:
+        """Install an adopted payload's data into the regular copy (the
+        caller has already verified domination and handles the IVV and
+        DBVV bookkeeping)."""
+        entry.value = payload.value
+
+    def _on_full_rewrite(self, entry: DataItem) -> None:
+        """Called when an item's value is administratively rewritten
+        (conflict resolution) — any per-item derived state is stale."""
+
+    def after_restore(self) -> None:
+        """Called by the persistence layer after rebuilding a node from
+        a snapshot; derived (non-persisted) state must assume nothing
+        about the pre-crash history.  The base protocol keeps no such
+        state."""
+
+    # ------------------------------------------------------------------
+    # Update propagation, source side (paper Fig. 2)
+    # ------------------------------------------------------------------
+
+    def make_propagation_request(self) -> PropagationRequest:
+        """Step 1 of a pull: the recipient's DBVV, ready to send."""
+        return PropagationRequest(self.node_id, self.dbvv.copy())
+
+    def send_propagation(
+        self, request: PropagationRequest
+    ) -> YouAreCurrent | PropagationReply:
+        """The paper's ``SendPropagation`` procedure (Fig. 2), run at the
+        source ``j`` on the recipient's DBVV ``V_i``.
+
+        Cost: one DBVV comparison when the recipient is current, else
+        O(m) where m is the number of records/items selected — the walk
+        of each log tail stops at the first record the recipient already
+        has, and the item set S is deduplicated with the per-item
+        ``IsSelected`` flags so no set structure and no scan of the
+        database is needed (paper section 6).
+        """
+        remote = request.dbvv
+        self.counters.vv_comparisons += 1
+        self.counters.vv_components_touched += self.n_nodes
+        if remote.dominates_or_equal(self.dbvv):
+            return YouAreCurrent(self.node_id)
+
+        tails: list[tuple[tuple[str, int], ...]] = []
+        selected: list[DataItem] = []
+        for k in range(self.n_nodes):
+            if self.dbvv[k] > remote[k]:
+                records = self.log[k].tail_after(remote[k], self.counters)
+            else:
+                records = []
+            tails.append(tuple(record.pair() for record in records))
+            for record in records:
+                entry = self.store[record.item]
+                if not entry.is_selected:
+                    entry.is_selected = True
+                    selected.append(entry)
+
+        # Only regular copies travel; auxiliary state never leaves the
+        # node through scheduled propagation (paper section 5.1).
+        payloads = tuple(
+            self._payload_for(entry, remote) for entry in selected
+        )
+        # Flip the IsSelected flags back — linear in |S|, not in N.
+        for entry in selected:
+            entry.is_selected = False
+        self.counters.items_scanned += len(selected)
+        return PropagationReply(self.node_id, tuple(tails), payloads)
+
+    # ------------------------------------------------------------------
+    # Update propagation, recipient side (paper Fig. 3)
+    # ------------------------------------------------------------------
+
+    def accept_propagation(
+        self, reply: PropagationReply
+    ) -> tuple[AcceptOutcome, IntraNodeOutcome]:
+        """The paper's ``AcceptPropagation`` (Fig. 3) followed by
+        ``IntraNodePropagation`` (Fig. 4) on the items just copied.
+
+        Returns both outcomes so callers (and tests) can see exactly
+        which items were adopted, skipped, conflicted, and replayed.
+        """
+        outcome = AcceptOutcome()
+        dropped_items: set[str] = set()
+
+        for payload in reply.items:
+            entry = self.store[payload.name]
+            self.counters.vv_comparisons += 1
+            self.counters.vv_components_touched += self.n_nodes
+            ordering = payload.ivv.compare(entry.ivv)
+            if ordering is Ordering.DOMINATES:
+                old_ivv = entry.ivv
+                self._install_payload(entry, payload)
+                entry.ivv = payload.ivv.copy()
+                entry.in_conflict = False
+                self.dbvv.absorb_item_copy(old_ivv, entry.ivv, self.counters)
+                outcome.adopted.append(payload.name)
+                self.counters.items_copied += 1
+            elif ordering is Ordering.CONCURRENT:
+                entry.in_conflict = True
+                self.conflicts.declare(
+                    payload.name,
+                    self.node_id,
+                    ConflictSite.ACCEPT_PROPAGATION,
+                    entry.ivv,
+                    payload.ivv,
+                )
+                self.counters.conflicts_detected += 1
+                dropped_items.add(payload.name)
+                outcome.conflicted.append(payload.name)
+            else:
+                # The paper's normal case cannot reach here: a record for
+                # x in a tail means the source reflects an update to x
+                # the recipient misses, so the incoming IVV dominates
+                # (prefix ordering, paper section 7); EQUAL shows up only
+                # after earlier conflicts froze an item, and DOMINATED
+                # "cannot happen" — we tolerate both by skipping, which
+                # keeps criterion C2 (never adopt a non-dominating copy).
+                dropped_items.add(payload.name)
+                outcome.skipped.append(payload.name)
+
+        for k, tail in enumerate(reply.tails):
+            component = self.log[k]
+            for item, seqno in tail:
+                self.counters.log_records_examined += 1
+                if item in dropped_items:
+                    outcome.records_dropped += 1
+                    continue
+                if seqno <= component.max_seqno:
+                    # Possible only after a conflict froze an item and a
+                    # later tail overlapped records we kept; the existing
+                    # newer record already supersedes this one.
+                    outcome.records_dropped += 1
+                    continue
+                component.add(item, seqno, self.counters)
+                outcome.records_appended += 1
+
+        intra = self.intra_node_propagation(outcome.adopted)
+        return outcome, intra
+
+    def pull_from(self, source: "EpidemicNode") -> tuple[AcceptOutcome, IntraNodeOutcome]:
+        """Convenience for tests/examples: one full anti-entropy exchange
+        with ``source``, bypassing any simulated network.
+        """
+        answer = source.send_propagation(self.make_propagation_request())
+        if isinstance(answer, YouAreCurrent):
+            return AcceptOutcome(), IntraNodeOutcome()
+        return self.accept_propagation(answer)
+
+    # ------------------------------------------------------------------
+    # Intra-node propagation (paper Fig. 4)
+    # ------------------------------------------------------------------
+
+    def intra_node_propagation(self, items: list[str]) -> IntraNodeOutcome:
+        """Replay deferred out-of-bound updates onto regular copies.
+
+        For each named item that has an auxiliary copy: while the regular
+        IVV equals the pre-IVV of the earliest auxiliary record, re-apply
+        that record's operation as a fresh local update (IVV, DBVV and
+        ``L_ii`` all advance exactly as for a user update).  When the
+        auxiliary log drains and the regular copy has caught up with (or
+        overtaken) the auxiliary copy, the auxiliary copy is discarded.
+        A pre-IVV that *conflicts* with the regular IVV proves
+        inconsistent replicas exist and is declared (Fig. 4).
+        """
+        outcome = IntraNodeOutcome()
+        for name in items:
+            entry = self.store[name]
+            if not entry.has_auxiliary:
+                continue
+            self._replay_item(entry, outcome)
+        return outcome
+
+    def _replay_item(self, entry: DataItem, outcome: IntraNodeOutcome) -> None:
+        record = self.aux_log.earliest(entry.name)
+        while record is not None:
+            self.counters.vv_comparisons += 1
+            ordering = entry.ivv.compare(record.pre_ivv)
+            if ordering is Ordering.EQUAL:
+                entry.value = record.op.apply(entry.value)
+                entry.ivv.increment(self.node_id)
+                self.dbvv.record_local_update_by(self.node_id)
+                self.log.add(
+                    self.node_id, entry.name, self.dbvv[self.node_id], self.counters
+                )
+                self._record_regular_update(entry, record.op)
+                self.aux_log.pop_earliest(entry.name)
+                self.counters.aux_records_replayed += 1
+                outcome.replayed += 1
+                record = self.aux_log.earliest(entry.name)
+            elif ordering is Ordering.CONCURRENT:
+                self.conflicts.declare(
+                    entry.name,
+                    self.node_id,
+                    ConflictSite.INTRA_NODE,
+                    entry.ivv,
+                    record.pre_ivv,
+                )
+                self.counters.conflicts_detected += 1
+                outcome.conflicts.append(entry.name)
+                return
+            else:
+                # The regular copy is still behind the record's pre-state
+                # (DOMINATED); a later propagation will close the gap.
+                # DOMINATES cannot happen (paper Fig. 4: "v_i(x) can
+                # never dominate a version vector of an auxiliary
+                # record").
+                return
+        # Auxiliary log drained for this item: drop the auxiliary copy
+        # once the regular copy has caught up (Fig. 4 defers conflict
+        # detection here to AcceptPropagation).
+        assert entry.aux_ivv is not None
+        self.counters.vv_comparisons += 1
+        if entry.ivv.dominates_or_equal(entry.aux_ivv):
+            entry.drop_auxiliary()
+            outcome.auxiliaries_discarded.append(entry.name)
+
+    # ------------------------------------------------------------------
+    # Out-of-bound copying (paper section 5.2)
+    # ------------------------------------------------------------------
+
+    def make_oob_request(self, item: str) -> OutOfBoundRequest:
+        """Build a request to fetch ``item`` immediately from a peer."""
+        if item not in self.store:
+            raise UnknownItemError(item)
+        return OutOfBoundRequest(self.node_id, item)
+
+    def handle_oob_request(self, request: OutOfBoundRequest) -> OutOfBoundReply:
+        """Serve an out-of-bound fetch: prefer the auxiliary copy (never
+        older than the regular copy — an optimization, not a correctness
+        requirement, paper section 5.2).
+        """
+        entry = self.store[request.item]
+        return OutOfBoundReply(
+            self.node_id,
+            request.item,
+            entry.current_value(),
+            entry.current_ivv().copy(),
+        )
+
+    def accept_oob(self, reply: OutOfBoundReply) -> bool:
+        """Adopt an out-of-bound reply; True when the copy was installed.
+
+        Compares the received IVV against the *current* local IVV
+        (auxiliary when present, else regular).  A dominating copy is
+        installed as the new auxiliary copy; the auxiliary log is *not*
+        modified when an older auxiliary copy is overwritten (paper
+        section 5.2) — pending records still replay onto the regular
+        copy, whose catch-up path is untouched.  Equal-or-dominated
+        replies are ignored; concurrent ones are declared inconsistent.
+        """
+        entry = self.store[reply.item]
+        local_ivv = entry.current_ivv()
+        self.counters.vv_comparisons += 1
+        self.counters.vv_components_touched += self.n_nodes
+        ordering = reply.ivv.compare(local_ivv)
+        if ordering is Ordering.DOMINATES:
+            entry.install_auxiliary(reply.value, reply.ivv)
+            return True
+        if ordering is Ordering.CONCURRENT:
+            entry.in_conflict = True
+            self.conflicts.declare(
+                reply.item,
+                self.node_id,
+                ConflictSite.OUT_OF_BOUND,
+                local_ivv,
+                reply.ivv,
+            )
+            self.counters.conflicts_detected += 1
+        return False
+
+    def copy_out_of_bound(self, item: str, source: "EpidemicNode") -> bool:
+        """Convenience: full out-of-bound exchange with ``source``."""
+        reply = source.handle_oob_request(self.make_oob_request(item))
+        return self.accept_oob(reply)
+
+    # ------------------------------------------------------------------
+    # Dynamic membership (extension — the paper fixes the replica set
+    # "to simplify the presentation", section 2)
+    # ------------------------------------------------------------------
+
+    def expand_replica_set(self, new_n_nodes: int) -> None:
+        """Grow this replica's view of the replica set to ``new_n_nodes``.
+
+        Models an administrative membership change applied to every
+        existing replica before the new server participates (the
+        coordination itself — an epoch switch — is outside the protocol,
+        as replica-set changes were for the paper).  All vectors gain
+        zero components and the log vector gains empty origins, which
+        preserves every invariant: the new server has originated nothing
+        yet, and a brand-new replica (all-zero DBVV) catches up through
+        perfectly ordinary update propagation.
+        """
+        if new_n_nodes < self.n_nodes:
+            raise ValueError(
+                f"cannot shrink the replica set from {self.n_nodes} to "
+                f"{new_n_nodes} nodes"
+            )
+        self.dbvv.extend_to(new_n_nodes)
+        while self.log.n_nodes < new_n_nodes:
+            self.log.add_origin()
+        for entry in self.store:
+            entry.ivv.extend_to(new_n_nodes)
+            if entry.aux_ivv is not None:
+                entry.aux_ivv.extend_to(new_n_nodes)
+        for record in self.aux_log:
+            record.pre_ivv.extend_to(new_n_nodes)
+        self.store.n_nodes = new_n_nodes
+        self.n_nodes = new_n_nodes
+
+    # ------------------------------------------------------------------
+    # Administration and introspection
+    # ------------------------------------------------------------------
+
+    def resolve_conflict(self, item: str, value: bytes) -> None:
+        """Administrative conflict resolution (extension — the paper
+        leaves resolution to the application, section 2).
+
+        Installs ``value`` as the item's new regular state whose IVV is
+        the join of every known lineage — the regular copy, any
+        auxiliary copy, and the remote vectors captured in this node's
+        conflict reports for the item (the conflicting remote copy was
+        never adopted, so its vector survives only in the report) —
+        plus a fresh local update.  The resolved copy therefore
+        dominates all conflicting lineages and propagates normally.
+        Pending auxiliary records for the item are discarded (they
+        belong to an overwritten lineage).
+        """
+        entry = self.store[item]
+        old_ivv = entry.ivv.copy()
+        merged = entry.ivv.copy()
+        if entry.aux_ivv is not None:
+            merged.merge_from(entry.aux_ivv)
+        for report in self.conflicts.conflicts_for(item):
+            merged.merge_from(VersionVector.from_counts(report.remote_vv))
+            merged.merge_from(VersionVector.from_counts(report.local_vv))
+        entry.value = value
+        entry.ivv = merged
+        entry.drop_auxiliary()
+        self.aux_log.discard_item(item)
+        entry.in_conflict = False
+        # Account the merge into the DBVV (rule 3 with the join)...
+        self.dbvv.absorb_item_copy(old_ivv, entry.ivv, self.counters)
+        # ...then the resolution itself is a fresh local update.
+        entry.ivv.increment(self.node_id)
+        self.dbvv.record_local_update_by(self.node_id)
+        self.log.add(self.node_id, item, self.dbvv[self.node_id], self.counters)
+        self._on_full_rewrite(entry)
+
+    def state_fingerprint(self) -> dict[str, tuple[bytes, tuple[int, ...]]]:
+        """Regular-copy snapshot ``{item: (value, ivv)}`` used by the
+        convergence checker to compare replicas across nodes.
+        """
+        return {
+            entry.name: (entry.value, entry.ivv.as_tuple()) for entry in self.store
+        }
+
+    def check_invariants(self) -> None:
+        """Assert the cross-structure invariants from DESIGN.md section 6:
+
+        * DBVV equals the column sums of the regular IVVs (rule 3
+          correctness) — *except* origins frozen by unresolved conflicts,
+          where dropped records legitimately leave the DBVV behind;
+        * log structure invariants;
+        * every log record's seqno is bounded by the matching DBVV
+          component;
+        * auxiliary log chains are intact and only reference items that
+          still exist.
+        """
+        self.log.check_invariants()
+        self.aux_log.check_invariants()
+        any_conflict = any(entry.in_conflict for entry in self.store)
+        if not any_conflict and self.conflicts.count == 0:
+            sums = [0] * self.n_nodes
+            for entry in self.store:
+                for k, count in enumerate(entry.ivv):
+                    sums[k] += count
+            assert sums == list(self.dbvv), (
+                f"DBVV {list(self.dbvv)} != IVV column sums {sums} "
+                f"on node {self.node_id}"
+            )
+        for k in range(self.n_nodes):
+            component = self.log[k]
+            assert component.max_seqno <= max(self.dbvv[k], component.max_seqno), (
+                "unreachable"
+            )
+        for record in self.aux_log:
+            assert record.item in self.store
+
+    def __repr__(self) -> str:
+        return (
+            f"EpidemicNode(id={self.node_id}, dbvv={self.dbvv.as_tuple()}, "
+            f"items={len(self.store)}, log={len(self.log)}, aux={len(self.aux_log)})"
+        )

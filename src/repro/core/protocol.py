@@ -1,0 +1,146 @@
+"""The paper's protocol behind the protocol-neutral interface.
+
+:class:`DBVVProtocolNode` adapts :class:`~repro.core.node.EpidemicNode`
+to :class:`~repro.interfaces.ProtocolNode` so the cluster simulator and
+the experiment harness can run it side by side with the baselines.  The
+adapter adds nothing to the protocol — it only routes messages through a
+transport and condenses outcomes into :class:`~repro.interfaces.SyncStats`.
+"""
+
+from __future__ import annotations
+
+from repro.core.conflicts import ConflictReporter
+from repro.core.delta import DeltaEpidemicNode
+from repro.core.messages import OutOfBoundReply, PropagationReply, YouAreCurrent
+from repro.core.node import EpidemicNode
+from repro.errors import NodeDownError
+from repro.interfaces import ProtocolNode, SyncStats, Transport
+from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
+from repro.substrate.operations import UpdateOperation
+
+__all__ = ["DBVVProtocolNode", "DeltaProtocolNode"]
+
+
+class DBVVProtocolNode(ProtocolNode):
+    """The EDBT'96 protocol: DBVV-gated anti-entropy with bounded logs.
+
+    ``sync_with`` is a pull: this node (the recipient) sends its DBVV to
+    the peer and adopts whatever the peer's ``SendPropagation`` answers
+    with.  Out-of-bound copying is exposed via :meth:`fetch_out_of_bound`
+    (an extension point the interface does not require — the baselines
+    simply don't have it, which is part of the comparison story).
+    """
+
+    protocol_name = "dbvv"
+
+    #: The epidemic-node implementation this adapter wraps; the
+    #: operation-shipping variant overrides it.
+    node_class: type[EpidemicNode] = EpidemicNode
+
+    def __init__(
+        self,
+        node_id: int,
+        n_nodes: int,
+        items: list[str] | tuple[str, ...],
+        counters: OverheadCounters = NULL_COUNTERS,
+        conflict_reporter: ConflictReporter | None = None,
+    ):
+        super().__init__(node_id, n_nodes, counters)
+        self.node = self.node_class(
+            node_id, n_nodes, items, counters=counters,
+            conflict_reporter=conflict_reporter,
+        )
+
+    # -- user operations -----------------------------------------------------
+
+    def user_update(self, item: str, op: UpdateOperation) -> None:
+        self.node.update(item, op)
+
+    def read(self, item: str) -> bytes:
+        return self.node.read(item)
+
+    # -- synchronization -----------------------------------------------------
+
+    def sync_with(self, peer: ProtocolNode, transport: Transport) -> SyncStats:
+        if not isinstance(peer, DBVVProtocolNode):
+            raise TypeError(
+                f"cannot run DBVV anti-entropy against {type(peer).__name__}"
+            )
+        if peer.node_class is not self.node_class:
+            raise TypeError(
+                "propagation modes cannot mix: recipient runs "
+                f"{self.node_class.__name__}, peer runs "
+                f"{peer.node_class.__name__}"
+            )
+        stats = SyncStats()
+        # Count via the conflict reporter, not the counters sink — the
+        # sink may be the do-nothing NULL_COUNTERS.
+        before = self.node.conflicts.count
+        try:
+            request = transport.deliver(
+                self.node_id, peer.node_id, self.node.make_propagation_request()
+            )
+            answer = peer.node.send_propagation(request)
+            answer = transport.deliver(peer.node_id, self.node_id, answer)
+        except NodeDownError:
+            stats.failed = True
+            return stats
+        stats.messages = 2
+        if isinstance(answer, YouAreCurrent):
+            stats.identical = True
+            return stats
+        assert isinstance(answer, PropagationReply)
+        outcome, _intra = self.node.accept_propagation(answer)
+        stats.items_transferred = len(outcome.adopted)
+        stats.conflicts = self.node.conflicts.count - before
+        return stats
+
+    # -- out-of-bound copying (protocol-specific extension) -------------------
+
+    def fetch_out_of_bound(
+        self, item: str, peer: "DBVVProtocolNode", transport: Transport
+    ) -> bool:
+        """Fetch ``item`` from ``peer`` immediately (paper section 5.2);
+        True when a newer copy was installed as the auxiliary copy.
+        """
+        try:
+            request = transport.deliver(
+                self.node_id, peer.node_id, self.node.make_oob_request(item)
+            )
+            reply = peer.node.handle_oob_request(request)
+            reply = transport.deliver(peer.node_id, self.node_id, reply)
+        except NodeDownError:
+            return False
+        assert isinstance(reply, OutOfBoundReply)
+        return self.node.accept_oob(reply)
+
+    # -- introspection -------------------------------------------------------
+
+    def state_fingerprint(self) -> dict[str, bytes]:
+        return {entry.name: entry.value for entry in self.node.store}
+
+    def conflict_count(self) -> int:
+        return self.node.conflicts.count
+
+    def expand_replica_set(self, new_n_nodes: int) -> None:
+        """Dynamic-membership extension: grow this replica's view of the
+        replica set (see :meth:`EpidemicNode.expand_replica_set`)."""
+        self.node.expand_replica_set(new_n_nodes)
+        self.n_nodes = new_n_nodes
+
+    def check_invariants(self) -> None:
+        """Delegate to the node's cross-structure invariant checks."""
+        self.node.check_invariants()
+
+
+class DeltaProtocolNode(DBVVProtocolNode):
+    """The protocol in operation-shipping mode (paper section 2's
+    second propagation method; see :mod:`repro.core.delta`).
+
+    All nodes of a cluster must run the same mode: a whole-value node
+    cannot interpret a :class:`~repro.core.delta.DeltaPayload`, so the
+    adapter's node-class check rejects mixed pairs up front.
+    """
+
+    protocol_name = "dbvv-delta"
+    node_class = DeltaEpidemicNode

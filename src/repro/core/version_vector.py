@@ -1,0 +1,264 @@
+"""Version vectors (paper section 3).
+
+A version vector over a replica set ``{0, ..., n-1}`` records, in its
+``j``-th component, how many updates originated at server ``j`` are
+reflected in the state the vector describes.  The paper uses them at two
+granularities: *item version vectors* (IVV, one per data item replica,
+classic Parker et al. usage) and *database version vectors* (DBVV, one
+per whole database replica, the paper's contribution — see
+:mod:`repro.core.dbvv`).
+
+The class below implements the vector algebra both need:
+
+* per-origin increment (local update: ``v[i] += 1``),
+* component-wise merge — the join of the vector lattice — used when a
+  replica adopts a newer copy,
+* the four-way comparison of Theorem 3's corollaries: equal, dominates,
+  dominated, or concurrent (the paper's "inconsistent version vectors").
+
+Vectors are mutable (nodes update them in place constantly) but expose
+``copy()`` and value semantics for equality/hash-free comparison.  All
+components are non-negative integers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ReplicaSetMismatchError, UnknownNodeError
+
+__all__ = ["Ordering", "VersionVector", "compare", "merge", "dominates"]
+
+
+class Ordering(enum.Enum):
+    """Result of comparing two version vectors.
+
+    ``EQUAL``      — component-wise identical; the replicas they describe
+                     are identical (Theorem 3, corollary 1).
+    ``DOMINATES``  — left >= right everywhere and > somewhere; the left
+                     replica is strictly newer (corollary 3).
+    ``DOMINATED``  — the mirror image: the left replica is strictly older.
+    ``CONCURRENT`` — each side has seen updates the other missed; the
+                     replicas are inconsistent / in conflict (corollary 4).
+    """
+
+    EQUAL = "equal"
+    DOMINATES = "dominates"
+    DOMINATED = "dominated"
+    CONCURRENT = "concurrent"
+
+    def flipped(self) -> "Ordering":
+        """The ordering as seen from the other operand's point of view."""
+        if self is Ordering.DOMINATES:
+            return Ordering.DOMINATED
+        if self is Ordering.DOMINATED:
+            return Ordering.DOMINATES
+        return self
+
+
+class VersionVector:
+    """A dense version vector over a fixed replica set of size ``n``.
+
+    The replica set is fixed for the lifetime of the database (paper
+    section 2, final assumption), so a dense list representation is both
+    the simplest and the fastest choice; nodes are identified by their
+    index ``0 <= j < n``.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, n_nodes: int = 0, counts: Sequence[int] | None = None):
+        """Create a vector of ``n_nodes`` zero components, or adopt
+        ``counts`` verbatim when given (``n_nodes`` is then ignored).
+        """
+        if counts is not None:
+            self._counts = list(counts)
+            for value in self._counts:
+                if value < 0:
+                    raise ValueError(f"negative version vector component: {value}")
+        else:
+            if n_nodes < 0:
+                raise ValueError(f"negative replica set size: {n_nodes}")
+            self._counts = [0] * n_nodes
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def zero(cls, n_nodes: int) -> "VersionVector":
+        """The all-zero vector: the state of a freshly initialized replica."""
+        return cls(n_nodes)
+
+    @classmethod
+    def from_counts(cls, counts: Iterable[int]) -> "VersionVector":
+        """Build a vector from an explicit component sequence."""
+        return cls(counts=list(counts))
+
+    def copy(self) -> "VersionVector":
+        """An independent copy; mutating it never affects ``self``."""
+        return VersionVector(counts=self._counts)
+
+    def extend_to(self, n_nodes: int) -> None:
+        """Grow the replica set: append zero components up to ``n_nodes``.
+
+        Part of the dynamic-membership extension (the paper fixes the
+        replica set "to simplify the presentation"); a new server has
+        originated zero updates, so zero-extension preserves every
+        comparison and the DBVV/IVV sum invariant.  Shrinking is not
+        supported — removing a server with unpropagated updates would
+        lose history.
+        """
+        if n_nodes < len(self._counts):
+            raise ValueError(
+                f"cannot shrink a version vector from {len(self._counts)} "
+                f"to {n_nodes} components"
+            )
+        self._counts.extend([0] * (n_nodes - len(self._counts)))
+
+    # -- basic container protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __getitem__(self, node: int) -> int:
+        try:
+            return self._counts[node]
+        except IndexError:
+            raise UnknownNodeError(node) from None
+
+    def __setitem__(self, node: int, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative version vector component: {value}")
+        try:
+            self._counts[node] = value
+        except IndexError:
+            raise UnknownNodeError(node) from None
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VersionVector):
+            return self._counts == other._counts
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._counts))
+
+    def __repr__(self) -> str:
+        return f"VersionVector({self._counts!r})"
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """The components as an immutable tuple (useful as a dict key)."""
+        return tuple(self._counts)
+
+    def total(self) -> int:
+        """Sum of all components — the total number of updates reflected."""
+        return sum(self._counts)
+
+    # -- the vector algebra ----------------------------------------------------
+
+    def increment(self, node: int, by: int = 1) -> None:
+        """Record ``by`` new local updates originated at ``node``.
+
+        This is the rule "when server i performs an update, it increments
+        its own entry" (paper section 3) applied ``by`` times.
+        """
+        if by < 0:
+            raise ValueError(f"cannot increment by a negative amount: {by}")
+        try:
+            self._counts[node] += by
+        except IndexError:
+            raise UnknownNodeError(node) from None
+
+    def merge_from(self, other: "VersionVector") -> None:
+        """Component-wise maximum, in place: ``self = max(self, other)``.
+
+        This is the adoption rule of paper section 3: when a replica
+        obtains the missing updates of a newer copy it takes the join of
+        the two vectors.
+        """
+        self._check_compatible(other)
+        mine, theirs = self._counts, other._counts
+        for k in range(len(mine)):
+            if theirs[k] > mine[k]:
+                mine[k] = theirs[k]
+
+    def compare(self, other: "VersionVector") -> Ordering:
+        """Classify ``self`` against ``other`` per Theorem 3's corollaries."""
+        self._check_compatible(other)
+        some_less = False
+        some_greater = False
+        for a, b in zip(self._counts, other._counts):
+            if a < b:
+                some_less = True
+            elif a > b:
+                some_greater = True
+            if some_less and some_greater:
+                return Ordering.CONCURRENT
+        if some_greater:
+            return Ordering.DOMINATES
+        if some_less:
+            return Ordering.DOMINATED
+        return Ordering.EQUAL
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """True iff ``self`` strictly dominates ``other`` (corollary 3)."""
+        return self.compare(other) is Ordering.DOMINATES
+
+    def dominates_or_equal(self, other: "VersionVector") -> bool:
+        """True iff ``self >= other`` component-wise.
+
+        This is the test SendPropagation opens with: if the recipient's
+        vector dominates-or-equals the source's, no propagation is needed
+        (paper Fig. 2).
+        """
+        self._check_compatible(other)
+        for a, b in zip(self._counts, other._counts):
+            if a < b:
+                return False
+        return True
+
+    def concurrent_with(self, other: "VersionVector") -> bool:
+        """True iff the vectors are inconsistent (corollary 4)."""
+        return self.compare(other) is Ordering.CONCURRENT
+
+    def missing_from(self, other: "VersionVector") -> dict[int, int]:
+        """Per-origin counts of updates ``other`` reflects but ``self``
+        does not: ``{k: other[k] - self[k]}`` for components where other
+        is ahead.  By Theorem 3 corollary 2, these are exactly the *last*
+        ``other[k] - self[k]`` updates from origin ``k`` applied to the
+        other replica.
+        """
+        self._check_compatible(other)
+        return {
+            k: b - a
+            for k, (a, b) in enumerate(zip(self._counts, other._counts))
+            if b > a
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_compatible(self, other: "VersionVector") -> None:
+        if len(self._counts) != len(other._counts):
+            raise ReplicaSetMismatchError(
+                f"version vectors cover different replica sets: "
+                f"{len(self._counts)} vs {len(other._counts)} nodes"
+            )
+
+
+def compare(a: VersionVector, b: VersionVector) -> Ordering:
+    """Module-level alias of :meth:`VersionVector.compare`."""
+    return a.compare(b)
+
+
+def merge(a: VersionVector, b: VersionVector) -> VersionVector:
+    """The join of two vectors as a new vector (neither operand changes)."""
+    result = a.copy()
+    result.merge_from(b)
+    return result
+
+
+def dominates(a: VersionVector, b: VersionVector) -> bool:
+    """Module-level alias of :meth:`VersionVector.dominates`."""
+    return a.dominates(b)

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the epidemic replication library.
+
+All library-raised exceptions derive from :class:`ReplicationError` so
+callers can catch everything from this package with a single handler
+while still being able to discriminate on the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReplicationError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class UnknownItemError(ReplicationError, KeyError):
+    """An operation referenced a data item that does not exist."""
+
+    def __init__(self, item: str):
+        super().__init__(f"unknown data item: {item!r}")
+        self.item = item
+
+
+class UnknownNodeError(ReplicationError, KeyError):
+    """An operation referenced a server/node id outside the replica set."""
+
+    def __init__(self, node: int):
+        super().__init__(f"unknown node id: {node!r}")
+        self.node = node
+
+
+class ReplicaSetMismatchError(ReplicationError, ValueError):
+    """Two version vectors (or replicas) cover different server sets.
+
+    The paper assumes a fixed replica set (paper section 2); vectors over
+    different server sets are not comparable and mixing them is a
+    programming error, not a runtime condition to be papered over.
+    """
+
+
+class ConflictError(ReplicationError):
+    """Raised when a conflict is detected and the configured conflict
+    policy is :data:`~repro.core.conflicts.ConflictPolicy.RAISE`.
+    """
+
+    def __init__(self, item: str, detail: str = ""):
+        message = f"inconsistent replicas detected for item {item!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.item = item
+        self.detail = detail
+
+
+class TokenHeldError(ReplicationError):
+    """An update was attempted without holding the item's token while the
+    system runs in pessimistic (token-based) mode (paper section 2).
+    """
+
+    def __init__(self, item: str, holder: int, requester: int):
+        super().__init__(
+            f"token for item {item!r} is held by node {holder}, "
+            f"update attempted by node {requester}"
+        )
+        self.item = item
+        self.holder = holder
+        self.requester = requester
+
+
+class NodeDownError(ReplicationError):
+    """A message was sent to a crashed server."""
+
+    def __init__(self, node: int):
+        super().__init__(f"node {node} is down")
+        self.node = node
+
+
+class OperationError(ReplicationError, ValueError):
+    """An update operation could not be applied to the current value
+    (e.g. a byte-range patch beyond the end of the value).
+    """
+
+
+class SimulationError(ReplicationError, RuntimeError):
+    """The discrete-event simulation was driven into an invalid state
+    (e.g. scheduling an event in the past)."""
+
+
+class MessageLostError(ReplicationError):
+    """A message was dropped by the (lossy) simulated network."""
+
+    def __init__(self, src: int, dst: int):
+        super().__init__(f"message from node {src} to node {dst} was lost")
+        self.src = src
+        self.dst = dst

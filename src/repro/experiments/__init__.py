@@ -1,0 +1,46 @@
+"""The experiment harness: one module per paper claim.
+
+Index (full parameters in DESIGN.md section 3):
+
+* :mod:`~repro.experiments.e1_identical_detection` — O(1) vs O(N)
+  identical-replica detection (paper sections 6, 8.1).
+* :mod:`~repro.experiments.e2_propagation_cost` — O(m) propagation,
+  independent of N (sections 1, 6).
+* :mod:`~repro.experiments.e3_log_bound` — n·N log bound and the
+  one-record-per-item ablation (section 4.2).
+* :mod:`~repro.experiments.e4_lotus_comparison` — Lotus redundant
+  sessions and its lost-update conflict bug (section 8.1).
+* :mod:`~repro.experiments.e5_failure_recovery` — push-without-
+  forwarding failure vulnerability vs epidemic repair (section 8.2).
+* :mod:`~repro.experiments.e6_out_of_bound` — out-of-bound copying
+  costs and freshness benefit (sections 5.2, 6).
+* :mod:`~repro.experiments.e7_convergence` — Theorem 5 correctness and
+  rounds-to-convergence (section 7).
+* :mod:`~repro.experiments.e8_traffic` — end-to-end traffic/work totals
+  across all protocols (sections 1, 6, 8).
+* :mod:`~repro.experiments.e9_read_staleness` — user-visible staleness
+  vs the anti-entropy period, with the out-of-bound hot-read arm
+  (sections 1, 5.2, 8; extension).
+
+Every ``run`` function is deterministic in its parameters and seed;
+``main`` prints the experiment's table(s).  Run them all with
+``python -m repro.experiments.run_all``.
+"""
+
+from repro.experiments.common import (
+    EPIDEMIC_PROTOCOLS,
+    PROTOCOLS,
+    fresh_pair,
+    make_factory,
+    make_items,
+    protocol_class,
+)
+
+__all__ = [
+    "EPIDEMIC_PROTOCOLS",
+    "PROTOCOLS",
+    "fresh_pair",
+    "make_factory",
+    "make_items",
+    "protocol_class",
+]

@@ -1,0 +1,139 @@
+"""E2 — propagation overhead is O(m), independent of N.
+
+Paper claims (sections 1 and 6): "when update propagation is required,
+it is done in time that is linear in the number of data items to be
+copied, without comparing replicas of every data item" — the total
+overhead for update propagation is O(m), where m is the number of items
+actually shipped.  Existing protocols pay at least O(N) per session.
+
+Two sweeps, one measured session each (node 1 pulls from node 0, which
+has ``m`` freshly updated items):
+
+* **sweep N** with m fixed — dbvv's session cost must stay flat while
+  per-item-vv and lotus grow linearly with N;
+* **sweep m** with N fixed — dbvv's cost must grow linearly in m, with
+  a small constant (a handful of counter entries per shipped item).
+
+Both computation (work counters) and traffic (bytes beyond the shipped
+values themselves — the metadata overhead) are reported; the paper
+claims constant metadata per shipped item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import EPIDEMIC_PROTOCOLS, fresh_pair, make_items
+from repro.metrics.reporting import Table
+from repro.substrate.operations import Put
+
+__all__ = ["E2Row", "run_session", "run_sweep_n", "run_sweep_m", "report", "main"]
+
+DEFAULT_SIZES = (200, 800, 3_200, 12_800)
+DEFAULT_M_VALUES = (1, 8, 64, 512)
+DEFAULT_FIXED_M = 32
+DEFAULT_FIXED_N = 4_000
+VALUE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class E2Row:
+    """Cost of one propagation session for a (protocol, N, m) point."""
+
+    protocol: str
+    n_items: int
+    m_updated: int
+    items_transferred: int
+    work: int
+    bytes_sent: int
+    payload_bytes: int      # bytes of actual item values shipped
+    metadata_bytes: int     # bytes_sent - payload_bytes: the overhead
+
+
+def run_session(protocol: str, n_items: int, m_updated: int) -> E2Row:
+    """One measured session: recipient pulls ``m`` fresh updates."""
+    if m_updated > n_items:
+        raise ValueError(f"m={m_updated} cannot exceed N={n_items}")
+    items = make_items(n_items)
+    pair = fresh_pair(protocol, items)
+    payload = b"x" * VALUE_SIZE
+    for item in items[:m_updated]:
+        pair.source.user_update(item, Put(payload))
+    pair.reset()
+    stats = pair.sync()
+    assert stats.items_transferred == m_updated, (
+        f"{protocol}: expected {m_updated} transfers, got {stats.items_transferred}"
+    )
+    payload_bytes = VALUE_SIZE * m_updated
+    return E2Row(
+        protocol=protocol,
+        n_items=n_items,
+        m_updated=m_updated,
+        items_transferred=stats.items_transferred,
+        work=pair.session_work(),
+        bytes_sent=pair.transport_counters.bytes_sent,
+        payload_bytes=payload_bytes,
+        metadata_bytes=pair.transport_counters.bytes_sent - payload_bytes,
+    )
+
+
+def run_sweep_n(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    m_updated: int = DEFAULT_FIXED_M,
+    protocols: tuple[str, ...] = EPIDEMIC_PROTOCOLS,
+) -> list[E2Row]:
+    """Fixed m, growing N: the scalability claim."""
+    return [
+        run_session(protocol, n_items, m_updated)
+        for protocol in protocols
+        for n_items in sizes
+    ]
+
+
+def run_sweep_m(
+    m_values: tuple[int, ...] = DEFAULT_M_VALUES,
+    n_items: int = DEFAULT_FIXED_N,
+    protocols: tuple[str, ...] = EPIDEMIC_PROTOCOLS,
+) -> list[E2Row]:
+    """Fixed N, growing m: cost must track the work actually done."""
+    return [
+        run_session(protocol, n_items, m_updated)
+        for protocol in protocols
+        for m_updated in m_values
+    ]
+
+
+def report(rows: list[E2Row], title: str) -> Table:
+    table = Table(
+        title,
+        ["protocol", "N items", "m updated", "shipped", "work",
+         "bytes", "metadata bytes"],
+    )
+    for row in rows:
+        table.add_row([
+            row.protocol,
+            row.n_items,
+            row.m_updated,
+            row.items_transferred,
+            row.work,
+            row.bytes_sent,
+            row.metadata_bytes,
+        ])
+    return table
+
+
+def main() -> None:
+    report(
+        run_sweep_n(),
+        f"E2a — session cost vs database size N (m={DEFAULT_FIXED_M} items "
+        "actually propagated; dbvv must stay flat)",
+    ).print()
+    report(
+        run_sweep_m(),
+        f"E2b — session cost vs items propagated m (N={DEFAULT_FIXED_N}; "
+        "dbvv must grow linearly in m with a small constant)",
+    ).print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,231 @@
+"""E5 — failure during propagation: push-without-forwarding versus
+epidemic anti-entropy (paper section 8.2).
+
+The scenario the paper describes: a node originates updates, starts
+distributing them, and crashes after reaching only some of its peers.
+
+* Under **Oracle-style deferred push**, "since no forwarding is
+  performed, this situation may last for a long time, until the server
+  that originated the update is repaired" — the peers that got the data
+  cannot help the peers that didn't, and nothing in the protocol even
+  notices the gap.
+
+* Under the **DBVV protocol**, the survivors' periodic DBVV comparisons
+  detect the difference immediately and the new data is forwarded from
+  the peers that have it — staleness ends after a few epidemic rounds,
+  decoupled from the originator's repair time.
+
+Both arms run the same script: ``u`` updates at node 0; node 0 reaches
+exactly ``reached`` peers before crashing; then one synchronization
+round per time step among the survivors; node 0 is repaired at round
+``repair_round`` and rejoins.  The ground-truth tracker samples
+staleness after every round; the headline number is the round at which
+the *survivors* all became current.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.oracle import OraclePushNode
+from repro.cluster.convergence import GroundTruth
+from repro.cluster.failures import CrashAfterPartialPush
+from repro.cluster.network import SimulatedNetwork
+from repro.cluster.scheduler import RandomSelector
+from repro.core.protocol import DBVVProtocolNode
+from repro.errors import MessageLostError, NodeDownError
+from repro.experiments.common import make_items
+from repro.metrics.counters import OverheadCounters
+from repro.metrics.reporting import Table
+from repro.metrics.staleness import StalenessSummary, summarize_staleness
+from repro.substrate.operations import Put
+
+__all__ = ["E5Result", "run_oracle_arm", "run_dbvv_arm", "run", "report", "main"]
+
+DEFAULT_NODES = 6
+DEFAULT_ITEMS = 50
+DEFAULT_UPDATES = 10
+DEFAULT_REACHED = 2
+DEFAULT_REPAIR_ROUND = 25
+DEFAULT_MAX_ROUNDS = 40
+
+
+@dataclass(frozen=True)
+class E5Result:
+    """Outcome of one arm of the failure experiment."""
+
+    protocol: str
+    survivors_current_round: int | None   # None = never within the window
+    all_current_round: int | None         # includes the repaired originator
+    repair_round: int
+    staleness: StalenessSummary
+    stale_series: tuple[int, ...] = ()    # stale pairs per round, for plots
+
+
+def _seed_updates(
+    node0, truth: GroundTruth, items: list[str], updates: int
+) -> None:
+    for idx, item in enumerate(items[:updates]):
+        op = Put(f"{item}:crashed-batch-{idx}".encode())
+        node0.user_update(item, op)
+        truth.apply(item, op)
+
+
+def run_oracle_arm(
+    n_nodes: int = DEFAULT_NODES,
+    n_items: int = DEFAULT_ITEMS,
+    updates: int = DEFAULT_UPDATES,
+    reached: int = DEFAULT_REACHED,
+    repair_round: int = DEFAULT_REPAIR_ROUND,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> E5Result:
+    """Deferred push: originator crashes mid-push, survivors can't help."""
+    items = make_items(n_items)
+    counters = [OverheadCounters() for _ in range(n_nodes)]
+    network = SimulatedNetwork(n_nodes, counters=OverheadCounters())
+    nodes = [
+        OraclePushNode(k, n_nodes, items, counters=counters[k])
+        for k in range(n_nodes)
+    ]
+    truth = GroundTruth(tuple(items))
+    _seed_updates(nodes[0], truth, items, updates)
+
+    # The fatal push round: node 0 reaches `reached` peers, then dies.
+    crash = CrashAfterPartialPush(node=0, after_peers=reached)
+    nodes[0].push_to_all(nodes, network, partial_crash=crash)
+    assert crash.fired, "originator should have crashed mid-push"
+
+    survivors_current: int | None = None
+    all_current: int | None = None
+    survivors = [nodes[k] for k in range(1, n_nodes)]
+    for round_no in range(1, max_rounds + 1):
+        if round_no == repair_round:
+            network.set_up(0)
+            # A repaired Oracle server resumes its interrupted push.
+            nodes[0].push_to_all(nodes, network)
+        # Every live node performs its periodic push round.
+        for node in nodes:
+            if network.is_up(node.node_id):
+                node.push_to_all(nodes, network)
+        truth.observe(float(round_no), nodes)
+        if survivors_current is None and truth.stale_pairs(survivors) == 0:
+            survivors_current = round_no
+        if all_current is None and truth.fully_current(nodes):
+            all_current = round_no
+    return E5Result(
+        protocol="oracle-push",
+        survivors_current_round=survivors_current,
+        all_current_round=all_current,
+        repair_round=repair_round,
+        staleness=summarize_staleness(truth.samples),
+        stale_series=tuple(sample.stale_pairs for sample in truth.samples),
+    )
+
+
+def run_dbvv_arm(
+    n_nodes: int = DEFAULT_NODES,
+    n_items: int = DEFAULT_ITEMS,
+    updates: int = DEFAULT_UPDATES,
+    reached: int = DEFAULT_REACHED,
+    repair_round: int = DEFAULT_REPAIR_ROUND,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    seed: int = 11,
+) -> E5Result:
+    """Epidemic anti-entropy: survivors forward around the failure."""
+    items = make_items(n_items)
+    counters = [OverheadCounters() for _ in range(n_nodes)]
+    network = SimulatedNetwork(n_nodes, counters=OverheadCounters())
+    nodes = [
+        DBVVProtocolNode(k, n_nodes, items, counters=counters[k])
+        for k in range(n_nodes)
+    ]
+    truth = GroundTruth(tuple(items))
+    _seed_updates(nodes[0], truth, items, updates)
+
+    # Partial distribution: exactly `reached` peers pull before the crash.
+    for peer in range(1, reached + 1):
+        nodes[peer].sync_with(nodes[0], network)
+    network.set_down(0)
+
+    selector = RandomSelector()
+    rng = random.Random(seed)
+    survivors_current: int | None = None
+    all_current: int | None = None
+    survivors = [nodes[k] for k in range(1, n_nodes)]
+    for round_no in range(1, max_rounds + 1):
+        if round_no == repair_round:
+            network.set_up(0)
+        for node_id in range(n_nodes):
+            if not network.is_up(node_id):
+                continue
+            peer = selector.peer_for(node_id, n_nodes, round_no, rng)
+            try:
+                nodes[node_id].sync_with(nodes[peer], network)
+            except (NodeDownError, MessageLostError):
+                continue
+        truth.observe(float(round_no), nodes)
+        if survivors_current is None and truth.stale_pairs(survivors) == 0:
+            survivors_current = round_no
+        if all_current is None and truth.fully_current(nodes):
+            all_current = round_no
+    return E5Result(
+        protocol="dbvv",
+        survivors_current_round=survivors_current,
+        all_current_round=all_current,
+        repair_round=repair_round,
+        staleness=summarize_staleness(truth.samples),
+        stale_series=tuple(sample.stale_pairs for sample in truth.samples),
+    )
+
+
+def run(
+    repair_round: int = DEFAULT_REPAIR_ROUND,
+    seed: int = 11,
+) -> list[E5Result]:
+    return [
+        run_oracle_arm(repair_round=repair_round),
+        run_dbvv_arm(repair_round=repair_round, seed=seed),
+    ]
+
+
+def report(results: list[E5Result]) -> Table:
+    table = Table(
+        "E5 — originator crashes after reaching 2 of 5 peers; repaired at "
+        f"round {results[0].repair_round if results else '?'}.  When do the "
+        "surviving replicas become current?",
+        ["protocol", "survivors current at", "everyone current at",
+         "peak stale pairs"],
+    )
+    for result in results:
+        table.add_row([
+            result.protocol,
+            result.survivors_current_round
+            if result.survivors_current_round is not None else "never",
+            result.all_current_round
+            if result.all_current_round is not None else "never",
+            result.staleness.peak_stale_pairs,
+        ])
+    return table
+
+
+def main() -> None:
+    results = run()
+    report(results).print()
+    from repro.metrics.ascii_chart import line_chart
+
+    print(
+        line_chart(
+            {r.protocol: list(r.stale_series) for r in results},
+            height=8,
+            width=60,
+            title="E5 — stale (node,item) pairs per round "
+                  f"(repair at round {results[0].repair_round})",
+            y_label="stale pairs",
+        )
+    )
+    print()
+
+
+if __name__ == "__main__":
+    main()

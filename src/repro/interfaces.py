@@ -1,0 +1,164 @@
+"""The protocol-neutral node interface.
+
+Every replication protocol in this library — the paper's DBVV protocol
+and all four baselines — implements :class:`ProtocolNode`, so the
+cluster simulator, the workload drivers, the convergence checker and the
+experiment harness treat them interchangeably.  A protocol is reduced to
+four abilities:
+
+* apply a user update locally (``user_update``),
+* serve a user read locally (``read``),
+* perform one pair-wise synchronization with a peer (``sync_with``) —
+  anti-entropy for the epidemic protocols, a push for Oracle-style
+  replication,
+* expose a comparable snapshot of its replica (``state_fingerprint``)
+  so convergence can be checked without knowing protocol internals.
+
+``sync_with`` takes a :class:`Transport` (duck-typed; the real one lives
+in :mod:`repro.cluster.network`) that charges traffic and models peer
+availability.  :data:`DIRECT_TRANSPORT` is a zero-cost always-up
+transport for unit tests and examples that don't need a network.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
+from repro.substrate.operations import UpdateOperation
+
+__all__ = [
+    "SyncStats",
+    "Transport",
+    "DirectTransport",
+    "DIRECT_TRANSPORT",
+    "ProtocolNode",
+]
+
+
+@dataclass
+class SyncStats:
+    """Summary of one pair-wise synchronization.
+
+    ``identical``         — the session detected that no data had to move.
+    ``items_transferred`` — item copies shipped and adopted.
+    ``conflicts``         — conflicts detected during the session.
+    ``messages`` / ``bytes_sent`` — traffic this session generated.
+    ``failed``            — the session aborted (peer down / message lost).
+    """
+
+    identical: bool = False
+    items_transferred: int = 0
+    conflicts: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+    failed: bool = False
+
+
+class _SizedMessage(Protocol):
+    def wire_size(self) -> int: ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a protocol needs from the network: deliver one message.
+
+    ``deliver`` returns the message (identity — the simulation is
+    in-process) after charging its size, or raises
+    :class:`~repro.errors.NodeDownError` /
+    :class:`~repro.errors.SimulationError` subclasses on failure.
+    """
+
+    def deliver(self, src: int, dst: int, message: _SizedMessage) -> _SizedMessage: ...
+
+
+class DirectTransport:
+    """A free, reliable, always-up transport for tests and examples.
+
+    Still counts traffic (into an optional counters sink) so even
+    un-networked unit tests can assert on message economics.
+    """
+
+    def __init__(self, counters: OverheadCounters = NULL_COUNTERS):
+        self.counters = counters
+
+    def deliver(self, src: int, dst: int, message: _SizedMessage) -> _SizedMessage:
+        self.counters.messages_sent += 1
+        self.counters.bytes_sent += message.wire_size()
+        return message
+
+
+DIRECT_TRANSPORT = DirectTransport()
+"""Shared zero-configuration transport (uncounted)."""
+
+
+class ProtocolNode(abc.ABC):
+    """One server running one replication protocol over one database.
+
+    Concrete protocols: :class:`repro.core.protocol.DBVVProtocolNode`
+    (the paper), :class:`repro.baselines.per_item.PerItemVVNode`,
+    :class:`repro.baselines.lotus.LotusNode`,
+    :class:`repro.baselines.oracle.OraclePushNode`,
+    :class:`repro.baselines.wuu_bernstein.WuuBernsteinNode`.
+    """
+
+    #: Short protocol identifier used in experiment tables.
+    protocol_name: str = "abstract"
+
+    def __init__(
+        self,
+        node_id: int,
+        n_nodes: int,
+        counters: OverheadCounters = NULL_COUNTERS,
+    ):
+        if not 0 <= node_id < n_nodes:
+            raise ValueError(f"node_id {node_id} outside replica set 0..{n_nodes - 1}")
+        self.node_id = node_id
+        self.n_nodes = n_nodes
+        self.counters = counters
+
+    # -- user operations -----------------------------------------------------
+
+    @abc.abstractmethod
+    def user_update(self, item: str, op: UpdateOperation) -> None:
+        """Apply a user update at this replica."""
+
+    @abc.abstractmethod
+    def read(self, item: str) -> bytes:
+        """Serve a user read from this replica."""
+
+    # -- synchronization -----------------------------------------------------
+
+    @abc.abstractmethod
+    def sync_with(self, peer: "ProtocolNode", transport: Transport) -> SyncStats:
+        """One scheduled pair-wise synchronization with ``peer``.
+
+        For pull-style epidemic protocols ``self`` is the recipient
+        catching up from ``peer``; for push-style protocols ``self``
+        pushes its pending updates to ``peer``.  Either way, data flows
+        so that after enough calls over enough pairs, replicas converge
+        (or the protocol's documented weakness shows — that asymmetry is
+        what the experiments measure).
+        """
+
+    # -- introspection -------------------------------------------------------
+
+    @abc.abstractmethod
+    def state_fingerprint(self) -> dict[str, bytes]:
+        """``{item: value}`` snapshot of the replica's durable state.
+
+        Convergence means all nodes' fingerprints are equal.  Protocols
+        with user-visible auxiliary state (the DBVV protocol's
+        out-of-bound copies) report the *regular* durable state here;
+        full convergence implies auxiliary copies were discarded.
+        """
+
+    def conflict_count(self) -> int:
+        """Conflicts this node has detected so far (0 for protocols that
+        cannot detect conflicts — their silence is itself a finding)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.node_id}/{self.n_nodes})"

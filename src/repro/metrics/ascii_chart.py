@@ -1,0 +1,103 @@
+"""ASCII charts for experiment output.
+
+No plotting dependencies are available offline, but a shape is worth a
+thousand table rows: these renderers turn a numeric series into a
+terminal chart the harness can print next to its tables.  Two forms:
+
+* :func:`bar_chart` — one labeled horizontal bar per data point; right
+  for "cost per protocol" comparisons.
+* :func:`line_chart` — a fixed-height plot of one or more series over
+  a shared x axis; right for "staleness over rounds" time series.
+
+Everything is plain ``str`` output, deterministic, and tested — the
+charts appear in example output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+_BAR = "█"
+_POINT_CHARS = "●○■□▲△◆◇"
+
+
+def bar_chart(
+    data: Mapping[str, float] | Sequence[tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bars scaled to the maximum value.
+
+    >>> print(bar_chart({"dbvv": 4, "lotus": 100}, width=10))  # doctest: +SKIP
+    """
+    items = list(data.items()) if isinstance(data, Mapping) else list(data)
+    if not items:
+        raise ValueError("bar_chart needs at least one data point")
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    label_width = max(len(label) for label, _v in items)
+    peak = max(value for _l, value in items)
+    lines = [title] if title else []
+    for label, value in items:
+        if value < 0:
+            raise ValueError(f"bar values must be non-negative, got {value}")
+        length = 0 if peak == 0 else round(width * value / peak)
+        if value > 0:
+            length = max(length, 1)  # nonzero values always visible
+        bar = _BAR * length
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    height: int = 10,
+    width: int = 60,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """A fixed-size plot of one or more equally indexed series.
+
+    Series are resampled onto ``width`` columns (nearest index) and
+    scaled onto ``height`` rows against the global maximum.  Each
+    series gets a distinct point character; a legend line maps them.
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    if height < 2 or width < 2:
+        raise ValueError("chart must be at least 2x2")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    (n_points,) = lengths
+    if n_points < 2:
+        raise ValueError("series need at least 2 points")
+    for name, values in series.items():
+        if any(v < 0 for v in values):
+            raise ValueError(f"series {name!r} has negative values")
+
+    peak = max(max(values) for values in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for series_idx, (name, values) in enumerate(series.items()):
+        char = _POINT_CHARS[series_idx % len(_POINT_CHARS)]
+        legend.append(f"{char} {name}")
+        for col in range(width):
+            src = round(col * (n_points - 1) / (width - 1))
+            value = values[src]
+            if peak == 0:
+                row = height - 1
+            else:
+                row = height - 1 - round((height - 1) * value / peak)
+            grid[row][col] = char
+
+    lines = [title] if title else []
+    top_label = f"{peak:g}" if not y_label else f"{y_label} (peak {peak:g})"
+    lines.append(top_label)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Plain-text report tables.
+
+The experiment harness prints its results as aligned ASCII tables — the
+reproduction's analogue of the paper's reported comparisons.  No
+plotting dependencies: the tables carry the series (who wins, by what
+factor, where crossovers fall), which is what shape-matching needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_ratio", "format_bytes"]
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """``'12.3x'`` style ratio, robust to zero denominators."""
+    if denominator == 0:
+        return "inf" if numerator > 0 else "1.0x"
+    return f"{numerator / denominator:.1f}x"
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GiB"
+
+
+@dataclass
+class Table:
+    """A right-aligned-numbers ASCII table.
+
+    >>> t = Table("Run of the experiment", ["N", "cost"])
+    >>> t.add_row([10, 12])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, cells: list[object]) -> None:
+        """Append a row; cells are stringified (floats to 3 sig places)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.3g}")
+            else:
+                rendered.append(str(cell))
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """The table as a string, title and rule lines included."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+
+        def fmt_row(cells: list[str]) -> str:
+            return "  ".join(cell.rjust(widths[idx]) for idx, cell in enumerate(cells))
+
+        rule = "-" * len(fmt_row(self.headers))
+        lines = [self.title, rule, fmt_row(self.headers), rule]
+        lines.extend(fmt_row(row) for row in self.rows)
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Render to stdout with a trailing blank line."""
+        print(self.render())
+        print()
+
+    def to_csv(self) -> str:
+        """The table as RFC-4180-style CSV (header row first).
+
+        For piping experiment output into external analysis; cells
+        containing commas, quotes, or newlines are quoted.
+        """
+        def escape(cell: str) -> str:
+            if any(ch in cell for ch in ',"\n'):
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        rows = [self.headers] + self.rows
+        return "\n".join(",".join(escape(cell) for cell in row) for row in rows) + "\n"

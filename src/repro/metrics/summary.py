@@ -1,0 +1,92 @@
+"""One-call simulation reports.
+
+``summarize_simulation(sim)`` renders everything a run produced — the
+per-round history table, a staleness-over-rounds chart, Theorem 5
+coverage status, conflict totals, and the merged work/traffic counters
+— as one plain-text report.  Examples and ad-hoc notebooks get a
+complete picture without assembling the pieces by hand.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.metrics.ascii_chart import line_chart
+from repro.metrics.reporting import Table, format_bytes
+
+__all__ = ["summarize_simulation"]
+
+
+def summarize_simulation(sim: ClusterSimulation, title: str = "Simulation report") -> str:
+    """A multi-section plain-text report of a finished (or paused) run."""
+    sections: list[str] = [title, "=" * len(title), ""]
+
+    # Headline facts.
+    protocol = sim.nodes[0].protocol_name if sim.nodes else "?"
+    facts = Table(
+        "Run",
+        ["protocol", "nodes", "items", "rounds", "converged?", "conflicts"],
+    )
+    facts.add_row([
+        protocol,
+        sim.n_nodes,
+        len(tuple(sim.items)),
+        sim.round_no,
+        "yes" if sim.converged() else "no",
+        sim.total_conflicts(),
+    ])
+    sections.append(facts.render())
+    sections.append("")
+
+    # Work and traffic.
+    totals = sim.total_counters
+    work = Table(
+        "Totals",
+        ["work units", "vv comparisons", "items scanned", "items copied",
+         "messages", "traffic"],
+    )
+    work.add_row([
+        totals.total_work(),
+        totals.vv_comparisons,
+        totals.items_scanned,
+        totals.items_copied,
+        totals.messages_sent,
+        format_bytes(totals.bytes_sent),
+    ])
+    sections.append(work.render())
+    sections.append("")
+
+    # Theorem 5 coverage.
+    uncovered = sim.coverage.uncovered_pairs()
+    if sim.coverage.is_fully_covered():
+        when = sim.coverage.coverage_time
+        sections.append(
+            "Theorem 5 coverage: COMPLETE"
+            + (f" (at round {when:g})" if when is not None else "")
+        )
+    else:
+        sections.append(
+            f"Theorem 5 coverage: {len(uncovered)} ordered pairs still "
+            f"uncovered (e.g. {uncovered[:3]})"
+        )
+    sections.append("")
+
+    # Staleness over rounds, when the run recorded it.
+    series = [
+        stats.stale_pairs for stats in sim.history if stats.stale_pairs is not None
+    ]
+    if len(series) >= 2:
+        sections.append(
+            line_chart(
+                {"stale pairs": series},
+                height=6,
+                width=min(60, max(10, len(series) * 2)),
+                title="Staleness per round",
+                y_label="stale (node,item) pairs",
+            )
+        )
+        sections.append("")
+
+    # The round-by-round table last (it is the longest).
+    if sim.history:
+        sections.append(sim.history_table("Rounds").render())
+    return "\n".join(sections)

@@ -1,0 +1,30 @@
+"""The replicated-database substrate the protocol runs on.
+
+The paper assumes "a collection of networked servers that keep
+databases, which are collections of data items" (section 2).  This
+package supplies that world: re-doable update operations
+(:mod:`~repro.substrate.operations`), a versioned in-memory storage
+engine (:mod:`~repro.substrate.storage`), whole-database replicas and
+the servers hosting them (:mod:`~repro.substrate.database`,
+:mod:`~repro.substrate.server`), the optional token manager for
+pessimistic replica control (:mod:`~repro.substrate.tokens`), and the
+simulated clock (:mod:`~repro.substrate.clock`).
+"""
+
+from repro.substrate.operations import (
+    Append,
+    BytePatch,
+    CounterAdd,
+    Put,
+    Truncate,
+    UpdateOperation,
+)
+
+__all__ = [
+    "Append",
+    "BytePatch",
+    "CounterAdd",
+    "Put",
+    "Truncate",
+    "UpdateOperation",
+]

@@ -1,0 +1,106 @@
+"""Database schemas and replica identity.
+
+A *database* in the paper is a named collection of data items replicated
+(as a whole) across a fixed set of servers; user operations touch one
+replica, anti-entropy reconciles replicas pair-wise (paper section 2).
+This module captures the static part of that model:
+
+* :class:`DatabaseSchema` — the database's name, item names, and the
+  fixed replica set; shared by every replica and every protocol.
+* :class:`ReplicaId` — (database, node) identity of one replica.
+
+Multiple databases simply mean multiple independent protocol instances
+(paper section 2); the :mod:`repro.substrate.server` layer hosts any
+number of replicas of different databases on one server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DatabaseSchema", "ReplicaId", "DatabaseCatalog"]
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """The immutable definition of one replicated database.
+
+    ``name``    — the database's system-wide name.
+    ``items``   — the item names; fixed, identical on every replica.
+    ``n_nodes`` — size of the replica set; servers are ids ``0..n-1``.
+    """
+
+    name: str
+    items: tuple[str, ...]
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError(f"replica set must be non-empty, got {self.n_nodes}")
+        if len(set(self.items)) != len(self.items):
+            raise ValueError("duplicate item names in schema")
+
+    @classmethod
+    def with_generated_items(
+        cls, name: str, n_items: int, n_nodes: int, prefix: str = "item"
+    ) -> "DatabaseSchema":
+        """A schema with ``n_items`` generated names ``prefix-00000...``.
+
+        Zero-padded names keep lexicographic and numeric order aligned,
+        which makes experiment output stable and readable.
+        """
+        width = max(5, len(str(max(n_items - 1, 0))))
+        items = tuple(f"{prefix}-{k:0{width}d}" for k in range(n_items))
+        return cls(name, items, n_nodes)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    def replica(self, node_id: int) -> "ReplicaId":
+        """The identity of this database's replica on ``node_id``."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(
+                f"node {node_id} outside replica set 0..{self.n_nodes - 1}"
+            )
+        return ReplicaId(self.name, node_id)
+
+
+@dataclass(frozen=True)
+class ReplicaId:
+    """Identity of one database replica: which database, which server."""
+
+    database: str
+    node_id: int
+
+    def __str__(self) -> str:
+        return f"{self.database}@{self.node_id}"
+
+
+@dataclass
+class DatabaseCatalog:
+    """The set of databases a deployment knows about.
+
+    A thin registry keyed by database name; the server layer uses it to
+    instantiate one protocol instance per database (paper section 2:
+    "a separate instance of the protocol runs for each database").
+    """
+
+    _schemas: dict[str, DatabaseSchema] = field(default_factory=dict)
+
+    def add(self, schema: DatabaseSchema) -> None:
+        if schema.name in self._schemas:
+            raise ValueError(f"database {schema.name!r} already registered")
+        self._schemas[schema.name] = schema
+
+    def get(self, name: str) -> DatabaseSchema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise KeyError(f"unknown database {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def names(self) -> list[str]:
+        return sorted(self._schemas)

@@ -1,0 +1,122 @@
+"""Multi-database hosting.
+
+"When the system maintains multiple databases, a separate instance of
+the protocol runs for each database" (paper section 2).  A
+:class:`Host` is one physical server carrying replicas of any number of
+databases: each replica is an independent
+:class:`~repro.substrate.server.ReplicaServer` with its own protocol
+instance, storage, and counters; the host contributes shared concerns —
+identity, up/down state (a machine crash takes all its replicas down),
+and a single place to trigger "sync everything with that peer host"
+(the dial-up session syncs every shared database over one connection).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import NodeDownError
+from repro.interfaces import DIRECT_TRANSPORT, ProtocolNode, SyncStats, Transport
+from repro.substrate.database import DatabaseCatalog, DatabaseSchema
+from repro.substrate.server import ReplicaServer
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One physical server hosting replicas of multiple databases.
+
+    ``node_id`` is this host's id in every replica set it joins; the
+    paper's fixed-replica-set model extends naturally: each database
+    schema fixes which hosts ``0..n-1`` replicate it, and this host
+    only accepts databases whose replica set includes its id.
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.catalog = DatabaseCatalog()
+        self._replicas: dict[str, ReplicaServer] = {}
+        self._up = True
+
+    # -- database management -----------------------------------------------------
+
+    def add_database(
+        self,
+        schema: DatabaseSchema,
+        protocol_factory: Callable[[int], ProtocolNode],
+    ) -> ReplicaServer:
+        """Start hosting a replica of ``schema``.
+
+        ``protocol_factory(node_id)`` builds the protocol instance — a
+        *separate* instance per database, per the paper.
+        """
+        if not 0 <= self.node_id < schema.n_nodes:
+            raise ValueError(
+                f"host {self.node_id} is outside database {schema.name!r}'s "
+                f"replica set 0..{schema.n_nodes - 1}"
+            )
+        self.catalog.add(schema)
+        replica = ReplicaServer(schema, protocol_factory(self.node_id))
+        self._replicas[schema.name] = replica
+        return replica
+
+    def replica(self, database: str) -> ReplicaServer:
+        """This host's replica of the named database."""
+        self._check_up()
+        try:
+            return self._replicas[database]
+        except KeyError:
+            raise KeyError(
+                f"host {self.node_id} does not replicate {database!r}"
+            ) from None
+
+    def databases(self) -> list[str]:
+        """Names of all databases replicated here."""
+        return sorted(self._replicas)
+
+    # -- availability ----------------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def crash(self) -> None:
+        """A machine crash: every replica on this host goes down."""
+        self._up = False
+        for replica in self._replicas.values():
+            replica.crash()
+
+    def recover(self) -> None:
+        """Machine repair: every replica comes back with durable state."""
+        self._up = True
+        for replica in self._replicas.values():
+            replica.recover()
+
+    def _check_up(self) -> None:
+        if not self._up:
+            raise NodeDownError(self.node_id)
+
+    # -- synchronization ---------------------------------------------------------------
+
+    def sync_all_from(
+        self, peer: "Host", transport: Transport = DIRECT_TRANSPORT
+    ) -> dict[str, SyncStats]:
+        """One connection to ``peer``: pull every database both hosts
+        replicate (the dial-up-session pattern — paper section 1's
+        "multiple updates can often be bundled ... in a single
+        transfer" applies per database; databases remain independent
+        protocol instances)."""
+        self._check_up()
+        if not peer.is_up:
+            raise NodeDownError(peer.node_id)
+        results: dict[str, SyncStats] = {}
+        for database in self.databases():
+            if database in peer._replicas:
+                results[database] = self.replica(database).sync_from(
+                    peer.replica(database), transport
+                )
+        return results
+
+    def __repr__(self) -> str:
+        status = "up" if self._up else "DOWN"
+        return f"Host(node={self.node_id}, {status}, databases={self.databases()})"

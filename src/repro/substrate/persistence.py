@@ -1,0 +1,226 @@
+"""Durable snapshots of protocol state.
+
+The failure experiments assume a fail-stop model: a crashed server
+loses nothing and resumes from its durable state (paper section 8.2
+talks about servers being "repaired").  The storage journal
+(:mod:`repro.substrate.storage`) already proves user *values* are
+recoverable; this module makes the full *protocol* state durable — the
+DBVV, every IVV, the log vector, auxiliary copies, and the auxiliary
+log — so a node object can be serialized, destroyed, and rebuilt
+bit-identically.
+
+The format is a line-oriented text format (sections with hex-encoded
+bytes), chosen over pickle deliberately: it is diffable in tests,
+stable across Python versions, and cannot execute code on load.
+Operations in the auxiliary log are encoded by a small registry
+covering the operation types in :mod:`repro.substrate.operations`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.node import EpidemicNode
+from repro.core.version_vector import VersionVector
+from repro.errors import ReplicationError
+from repro.substrate.operations import (
+    Append,
+    BytePatch,
+    CounterAdd,
+    Put,
+    Truncate,
+    UpdateOperation,
+)
+
+__all__ = [
+    "SnapshotError",
+    "encode_op",
+    "decode_op",
+    "dump_node",
+    "load_node",
+    "save_node",
+    "restore_node",
+]
+
+FORMAT_VERSION = 1
+
+
+class SnapshotError(ReplicationError):
+    """A snapshot could not be encoded or decoded."""
+
+
+def encode_op(op: UpdateOperation) -> str:
+    """One-line text encoding of an update operation."""
+    if isinstance(op, Put):
+        return f"put {op.value.hex()}"
+    if isinstance(op, Append):
+        return f"append {op.data.hex()}"
+    if isinstance(op, BytePatch):
+        return f"patch {op.offset} {op.data.hex()}"
+    if isinstance(op, Truncate):
+        return f"truncate {op.length}"
+    if isinstance(op, CounterAdd):
+        return f"counter {op.delta}"
+    raise SnapshotError(f"cannot encode operation type {type(op).__name__}")
+
+
+def decode_op(text: str) -> UpdateOperation:
+    """Inverse of :func:`encode_op`."""
+    kind, _, rest = text.partition(" ")
+    try:
+        if kind == "put":
+            return Put(bytes.fromhex(rest))
+        if kind == "append":
+            return Append(bytes.fromhex(rest))
+        if kind == "patch":
+            offset_text, _, data_hex = rest.partition(" ")
+            return BytePatch(int(offset_text), bytes.fromhex(data_hex))
+        if kind == "truncate":
+            return Truncate(int(rest))
+        if kind == "counter":
+            return CounterAdd(int(rest))
+    except (ValueError, TypeError) as exc:
+        raise SnapshotError(f"malformed operation line: {text!r}") from exc
+    raise SnapshotError(f"unknown operation kind: {kind!r}")
+
+
+def _vv_text(vv: VersionVector) -> str:
+    return ",".join(str(c) for c in vv)
+
+
+def _vv_parse(text: str) -> VersionVector:
+    try:
+        return VersionVector.from_counts(int(c) for c in text.split(","))
+    except ValueError as exc:
+        raise SnapshotError(f"malformed version vector: {text!r}") from exc
+
+
+def dump_node(node: EpidemicNode) -> str:
+    """Serialize a node's complete protocol state to text.
+
+    Covers everything :class:`~repro.core.node.EpidemicNode` owns.  The
+    conflict reporter's history and the counters are measurement state,
+    not protocol state, and are not persisted (a repaired server starts
+    with empty telemetry).
+    """
+    lines: list[str] = [
+        f"epidemic-node-snapshot v{FORMAT_VERSION}",
+        f"node {node.node_id} {node.n_nodes}",
+        f"dbvv {_vv_text(node.dbvv)}",
+        "[items]",
+    ]
+    for name in node.store.names():
+        if " " in name or "\n" in name:
+            raise SnapshotError(
+                f"item name {name!r} contains whitespace; the snapshot "
+                "format is space-delimited"
+            )
+    for entry in node.store:
+        lines.append(
+            f"item {entry.name} {_vv_text(entry.ivv)} {entry.value.hex()} "
+            f"{1 if entry.in_conflict else 0}"
+        )
+        if entry.has_auxiliary:
+            assert entry.aux_ivv is not None and entry.aux_value is not None
+            lines.append(
+                f"aux {entry.name} {_vv_text(entry.aux_ivv)} "
+                f"{entry.aux_value.hex()}"
+            )
+    lines.append("[log]")
+    for origin in range(node.n_nodes):
+        for record in node.log[origin]:
+            lines.append(f"rec {origin} {record.seqno} {record.item}")
+    lines.append("[auxlog]")
+    for record in node.aux_log:
+        lines.append(
+            f"auxrec {record.item} {_vv_text(record.pre_ivv)} "
+            f"{encode_op(record.op)}"
+        )
+    lines.append("[end]")
+    return "\n".join(lines) + "\n"
+
+
+def load_node(
+    text: str,
+    node_class: type[EpidemicNode] = EpidemicNode,
+    **node_kwargs,
+) -> EpidemicNode:
+    """Rebuild a node from :func:`dump_node` output.
+
+    ``node_class`` / ``node_kwargs`` allow restoring into the
+    operation-shipping subclass; note a restored
+    :class:`~repro.core.delta.DeltaEpidemicNode` starts with empty op
+    histories (histories are a send-side optimization, rebuilt as new
+    updates arrive — it simply serves whole values meanwhile).
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or not lines[0].startswith("epidemic-node-snapshot"):
+        raise SnapshotError("not an epidemic-node snapshot")
+    if lines[0] != f"epidemic-node-snapshot v{FORMAT_VERSION}":
+        raise SnapshotError(f"unsupported snapshot version: {lines[0]!r}")
+    try:
+        _tag, node_id_text, n_nodes_text = lines[1].split(" ")
+        node_id, n_nodes = int(node_id_text), int(n_nodes_text)
+    except ValueError as exc:
+        raise SnapshotError(f"malformed node line: {lines[1]!r}") from exc
+    if not lines[2].startswith("dbvv "):
+        raise SnapshotError("missing dbvv line")
+    dbvv = _vv_parse(lines[2][len("dbvv "):])
+
+    # First pass: collect the schema so the node can be constructed.
+    item_lines: list[tuple[str, str, str, str]] = []
+    aux_lines: list[tuple[str, str, str]] = []
+    log_lines: list[tuple[int, int, str]] = []
+    auxlog_lines: list[tuple[str, str, str]] = []
+    section = ""
+    for line in lines[3:]:
+        if line in ("[items]", "[log]", "[auxlog]", "[end]"):
+            section = line
+            continue
+        fields = line.split(" ", 1)
+        if section == "[items]" and fields[0] == "item":
+            name, ivv_text, value_hex, conflict_flag = line.split(" ")[1:]
+            item_lines.append((name, ivv_text, value_hex, conflict_flag))
+        elif section == "[items]" and fields[0] == "aux":
+            name, ivv_text, value_hex = line.split(" ")[1:]
+            aux_lines.append((name, ivv_text, value_hex))
+        elif section == "[log]" and fields[0] == "rec":
+            _tag, origin_text, seqno_text, item = line.split(" ", 3)
+            log_lines.append((int(origin_text), int(seqno_text), item))
+        elif section == "[auxlog]" and fields[0] == "auxrec":
+            _tag, item, ivv_text, op_text = line.split(" ", 3)
+            auxlog_lines.append((item, ivv_text, op_text))
+        else:
+            raise SnapshotError(f"unexpected line in {section or 'header'}: {line!r}")
+
+    node = node_class(
+        node_id, n_nodes, [name for name, *_rest in item_lines], **node_kwargs
+    )
+    node.dbvv.merge_from(dbvv)
+    for name, ivv_text, value_hex, conflict_flag in item_lines:
+        entry = node.store[name]
+        entry.ivv = _vv_parse(ivv_text)
+        entry.value = bytes.fromhex(value_hex)
+        entry.in_conflict = conflict_flag == "1"
+    for name, ivv_text, value_hex in aux_lines:
+        node.store[name].install_auxiliary(bytes.fromhex(value_hex), _vv_parse(ivv_text))
+    for origin, seqno, item in log_lines:
+        node.log.add(origin, item, seqno)
+    for item, ivv_text, op_text in auxlog_lines:
+        node.aux_log.append(item, _vv_parse(ivv_text), decode_op(op_text))
+    node.after_restore()
+    return node
+
+
+def save_node(node: EpidemicNode, path: str | Path) -> None:
+    """Write a node snapshot to disk."""
+    Path(path).write_text(dump_node(node))
+
+
+def restore_node(
+    path: str | Path,
+    node_class: type[EpidemicNode] = EpidemicNode,
+    **node_kwargs,
+) -> EpidemicNode:
+    """Read a node snapshot from disk."""
+    return load_node(Path(path).read_text(), node_class, **node_kwargs)

@@ -1,0 +1,183 @@
+"""Servers: the user-facing hosting layer.
+
+A :class:`ReplicaServer` is what an application talks to.  It hosts one
+protocol node per database replica, backs item values with the
+journaled :class:`~repro.substrate.storage.Storage` engine, optionally
+enforces pessimistic token-based update control (paper section 2), and
+tracks up/down state for the failure experiments.
+
+The protocol layers keep their own copies of item values (each protocol
+defines what its replica state is); the server's storage engine is the
+*durable* user-visible store — every user update and every value adopted
+from a peer is journaled, so a crashed server recovers its pre-crash
+state from the journal (see :meth:`ReplicaServer.recover`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import NodeDownError, UnknownItemError
+from repro.interfaces import DIRECT_TRANSPORT, ProtocolNode, SyncStats, Transport
+from repro.substrate.database import DatabaseSchema
+from repro.substrate.operations import UpdateOperation
+from repro.substrate.storage import Storage
+from repro.substrate.tokens import TokenManager
+
+__all__ = ["ReplicaServer", "build_cluster"]
+
+
+class ReplicaServer:
+    """One server hosting one database replica behind a protocol node.
+
+    Parameters
+    ----------
+    schema:
+        The database being replicated.
+    protocol:
+        The protocol node that owns replication for this replica; its
+        ``node_id`` is this server's id.
+    tokens:
+        When given, the server runs in pessimistic mode: user updates
+        must hold the item's token (acquired via :meth:`acquire_token`).
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        protocol: ProtocolNode,
+        tokens: TokenManager | None = None,
+    ):
+        self.schema = schema
+        self.protocol = protocol
+        self.tokens = tokens
+        self.node_id = protocol.node_id
+        self.storage = Storage()
+        for item in schema.items:
+            self.storage.create(item)
+        self._up = True
+        self.updates_applied = 0
+        self.syncs_performed = 0
+
+    # -- availability ---------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def crash(self) -> None:
+        """Take the server down; all operations raise until recovery."""
+        self._up = False
+
+    def recover(self) -> None:
+        """Bring the server back with its durable state intact.
+
+        State is in-memory in this simulation, but the storage journal
+        is the proof it *could* be rebuilt — :meth:`verify_durability`
+        replays it and compares.
+        """
+        self._up = True
+
+    def verify_durability(self) -> bool:
+        """Replay the journal into a fresh store and compare with the
+        live values; True when the journal fully reproduces the state.
+        """
+        rebuilt = Storage.recover(list(self.schema.items), self.storage.journal())
+        return all(
+            rebuilt.read(item) == self.storage.read(item)
+            for item in self.schema.items
+        )
+
+    def _check_up(self) -> None:
+        if not self._up:
+            raise NodeDownError(self.node_id)
+
+    # -- user API --------------------------------------------------------------
+
+    def read(self, item: str) -> bytes:
+        """Serve a read from this replica (single-server service, the
+        epidemic model's defining property)."""
+        self._check_up()
+        if item not in self.storage:
+            raise UnknownItemError(item)
+        return self.protocol.read(item)
+
+    def update(self, item: str, op: UpdateOperation) -> None:
+        """Apply a user update here; replication happens asynchronously.
+
+        In pessimistic mode the caller must have acquired the item's
+        token at this server first.
+        """
+        self._check_up()
+        if self.tokens is not None:
+            self.tokens.check_update_allowed(item, self.node_id)
+        self.protocol.user_update(item, op)
+        self.storage.write(item, self.protocol.read(item))
+        self.updates_applied += 1
+
+    def acquire_token(self, item: str) -> None:
+        """Acquire ``item``'s update token at this server (pessimistic
+        mode only; a no-op error in optimistic mode would hide bugs, so
+        calling this without a token manager raises)."""
+        self._check_up()
+        if self.tokens is None:
+            raise RuntimeError("server runs in optimistic mode; no tokens exist")
+        self.tokens.acquire(item, self.node_id)
+
+    def release_token(self, item: str) -> None:
+        """Release ``item``'s token held by this server."""
+        self._check_up()
+        if self.tokens is None:
+            raise RuntimeError("server runs in optimistic mode; no tokens exist")
+        self.tokens.release(item, self.node_id)
+
+    # -- replication ------------------------------------------------------------
+
+    def sync_from(
+        self, peer: "ReplicaServer", transport: Transport = DIRECT_TRANSPORT
+    ) -> SyncStats:
+        """One pair-wise synchronization pulling from ``peer``.
+
+        Both servers must be up; afterwards, adopted values are written
+        through to durable storage.
+        """
+        self._check_up()
+        if not peer.is_up:
+            raise NodeDownError(peer.node_id)
+        stats = self.protocol.sync_with(peer.protocol, transport)
+        self.syncs_performed += 1
+        self._writeback()
+        return stats
+
+    def _writeback(self) -> None:
+        """Flush protocol-adopted values into durable storage."""
+        for item in self.schema.items:
+            value = self.protocol.read(item)
+            if self.storage.read(item) != value:
+                self.storage.write(item, value)
+
+    # -- introspection -----------------------------------------------------------
+
+    def state_fingerprint(self) -> dict[str, bytes]:
+        return self.protocol.state_fingerprint()
+
+    def __repr__(self) -> str:
+        status = "up" if self._up else "DOWN"
+        return (
+            f"ReplicaServer(node={self.node_id}, db={self.schema.name!r}, "
+            f"{status}, protocol={self.protocol.protocol_name})"
+        )
+
+
+def build_cluster(
+    schema: DatabaseSchema,
+    protocol_factory: Callable[[int], ProtocolNode],
+    tokens: TokenManager | None = None,
+) -> list[ReplicaServer]:
+    """Instantiate one :class:`ReplicaServer` per node in the schema's
+    replica set, all sharing the optional token manager.
+    """
+    return [
+        ReplicaServer(schema, protocol_factory(node_id), tokens)
+        for node_id in range(schema.n_nodes)
+    ]

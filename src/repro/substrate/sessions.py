@@ -1,0 +1,171 @@
+"""Client session guarantees over epidemic replicas.
+
+The paper's related work (section 8.3) discusses protocols that "use
+version vectors to enforce causally monotonic ordering of user
+operations on every replica": a client remembers the version vector of
+the state it last saw and uses it when it connects to a different
+server (Ladin et al.; Terry et al.'s session guarantees).  This module
+provides that layer on top of the DBVV protocol's item version vectors,
+per item (the system's consistency granule):
+
+* **read-your-writes** — a read must reflect every write this session
+  made to the item;
+* **monotonic-reads**  — successive reads of an item never go back in
+  time;
+* **monotonic-writes** — a write lands only on a replica that already
+  reflects the session's earlier writes to the item (so the session's
+  writes can never be mutually concurrent);
+* **writes-follow-reads** — a write lands only on a replica that
+  reflects what the session last read (causal ordering of a
+  read-then-update).
+
+When a guarantee would be violated at the connected server, the session
+either raises (``SessionPolicy.RAISE``) or exploits the paper's
+out-of-bound copying (``SessionPolicy.FETCH``): fetch the item from the
+server that last satisfied this session, installing an auxiliary copy
+that makes the local server current enough *for this item, right now* —
+precisely the "reduce the update propagation time for some key data
+items" use case of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.node import EpidemicNode
+from repro.core.version_vector import VersionVector
+from repro.errors import ReplicationError
+from repro.substrate.operations import UpdateOperation
+
+__all__ = ["Guarantee", "SessionPolicy", "GuaranteeViolation", "ClientSession"]
+
+
+class Guarantee(enum.Flag):
+    """The four session guarantees; combine with ``|``."""
+
+    READ_YOUR_WRITES = enum.auto()
+    MONOTONIC_READS = enum.auto()
+    MONOTONIC_WRITES = enum.auto()
+    WRITES_FOLLOW_READS = enum.auto()
+
+    @classmethod
+    def all(cls) -> "Guarantee":
+        return (
+            cls.READ_YOUR_WRITES
+            | cls.MONOTONIC_READS
+            | cls.MONOTONIC_WRITES
+            | cls.WRITES_FOLLOW_READS
+        )
+
+
+class SessionPolicy(enum.Enum):
+    """What a session does when the connected server is not current
+    enough for the requested guarantee."""
+
+    RAISE = "raise"
+    FETCH = "fetch"
+
+
+class GuaranteeViolation(ReplicationError):
+    """The connected server cannot satisfy a session guarantee (and the
+    policy forbids fetching)."""
+
+    def __init__(self, guarantee: Guarantee, item: str, server: int):
+        super().__init__(
+            f"server {server} cannot satisfy {guarantee} for item {item!r}"
+        )
+        self.guarantee = guarantee
+        self.item = item
+        self.server = server
+
+
+@dataclass
+class ClientSession:
+    """One client's session state, portable across servers.
+
+    The session records, per item, the vector of the newest state it
+    has read (``read_vv``) and the vector produced by its own writes
+    (``write_vv``) plus which server held that state — together they
+    are the "version vector returned by the last server" of the paper's
+    section 8.3 review, kept at item granularity.
+    """
+
+    guarantees: Guarantee = Guarantee.all()
+    policy: SessionPolicy = SessionPolicy.RAISE
+    read_vv: dict[str, VersionVector] = field(default_factory=dict)
+    write_vv: dict[str, VersionVector] = field(default_factory=dict)
+    last_server: dict[str, EpidemicNode] = field(default_factory=dict)
+    fetches_triggered: int = field(default=0)
+
+    # -- requirements -----------------------------------------------------------
+
+    def _required_for_read(self, item: str) -> VersionVector | None:
+        """The vector a server must dominate-or-equal to serve a read."""
+        required: VersionVector | None = None
+        if Guarantee.READ_YOUR_WRITES in self.guarantees and item in self.write_vv:
+            required = self.write_vv[item].copy()
+        if Guarantee.MONOTONIC_READS in self.guarantees and item in self.read_vv:
+            if required is None:
+                required = self.read_vv[item].copy()
+            else:
+                required.merge_from(self.read_vv[item])
+        return required
+
+    def _required_for_write(self, item: str) -> VersionVector | None:
+        """The vector a server must dominate-or-equal to accept a write."""
+        required: VersionVector | None = None
+        if Guarantee.MONOTONIC_WRITES in self.guarantees and item in self.write_vv:
+            required = self.write_vv[item].copy()
+        if Guarantee.WRITES_FOLLOW_READS in self.guarantees and item in self.read_vv:
+            if required is None:
+                required = self.read_vv[item].copy()
+            else:
+                required.merge_from(self.read_vv[item])
+        return required
+
+    def _ensure(
+        self,
+        server: EpidemicNode,
+        item: str,
+        required: VersionVector | None,
+        guarantee: Guarantee,
+    ) -> None:
+        if required is None:
+            return
+        if server.store[item].current_ivv().dominates_or_equal(required):
+            return
+        if self.policy is SessionPolicy.FETCH:
+            donor = self.last_server.get(item)
+            if donor is not None and donor is not server:
+                server.copy_out_of_bound(item, donor)
+                self.fetches_triggered += 1
+                if server.store[item].current_ivv().dominates_or_equal(required):
+                    return
+        raise GuaranteeViolation(guarantee, item, server.node_id)
+
+    # -- operations ----------------------------------------------------------------
+
+    def read(self, server: EpidemicNode, item: str) -> bytes:
+        """Read ``item`` at ``server`` under the session's guarantees."""
+        self._ensure(
+            server, item, self._required_for_read(item),
+            Guarantee.READ_YOUR_WRITES | Guarantee.MONOTONIC_READS,
+        )
+        value = server.read(item)
+        seen = server.store[item].current_ivv().copy()
+        if item in self.read_vv:
+            seen.merge_from(self.read_vv[item])
+        self.read_vv[item] = seen
+        self.last_server[item] = server
+        return value
+
+    def write(self, server: EpidemicNode, item: str, op: UpdateOperation) -> None:
+        """Write ``item`` at ``server`` under the session's guarantees."""
+        self._ensure(
+            server, item, self._required_for_write(item),
+            Guarantee.MONOTONIC_WRITES | Guarantee.WRITES_FOLLOW_READS,
+        )
+        server.update(item, op)
+        self.write_vv[item] = server.store[item].current_ivv().copy()
+        self.last_server[item] = server

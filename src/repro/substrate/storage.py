@@ -1,0 +1,122 @@
+"""A small versioned in-memory storage engine.
+
+This is the byte-store every protocol node keeps its item values in when
+it is hosted by the :mod:`repro.substrate.server` layer.  It is
+deliberately simple — an in-memory map with per-key write counters and a
+write-ahead journal — but it is a real component with real guarantees:
+
+* reads/writes are atomic at item granularity (the paper's atomicity
+  assumption, section 2.1);
+* every write is journaled, so a store can be rebuilt (`recover`) from
+  its journal — which is how crash/recovery in the failure-injection
+  experiments restores a server's pre-crash state;
+* per-key write counters provide the "sequence number" the Lotus
+  baseline needs and cheap change detection for tests.
+
+The engine is *not* the protocol state: IVVs, DBVVs and logs live in the
+protocol layers.  Keeping values in one place lets every protocol share
+identical storage behaviour, so experiment differences come from the
+protocols alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import UnknownItemError
+
+__all__ = ["WriteRecord", "Storage"]
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One journal entry: key, the value written, and the write's
+    store-wide sequence number."""
+
+    seq: int
+    key: str
+    value: bytes
+
+
+class Storage:
+    """In-memory byte store with a write journal.
+
+    Keys must be registered (via :meth:`create`) before use, mirroring
+    the fixed database schema of the paper's model.
+    """
+
+    __slots__ = ("_values", "_write_counts", "_journal", "_seq")
+
+    def __init__(self) -> None:
+        self._values: dict[str, bytes] = {}
+        self._write_counts: dict[str, int] = {}
+        self._journal: list[WriteRecord] = []
+        self._seq = 0
+
+    def create(self, key: str, value: bytes = b"") -> None:
+        """Register ``key``; duplicate registration is an error."""
+        if key in self._values:
+            raise ValueError(f"key {key!r} already exists")
+        self._values[key] = value
+        self._write_counts[key] = 0
+
+    def read(self, key: str) -> bytes:
+        """Current value of ``key``."""
+        try:
+            return self._values[key]
+        except KeyError:
+            raise UnknownItemError(key) from None
+
+    def write(self, key: str, value: bytes) -> int:
+        """Set ``key`` to ``value``; returns the key's new write count."""
+        if key not in self._values:
+            raise UnknownItemError(key)
+        self._seq += 1
+        self._values[key] = value
+        self._write_counts[key] += 1
+        self._journal.append(WriteRecord(self._seq, key, value))
+        return self._write_counts[key]
+
+    def write_count(self, key: str) -> int:
+        """How many times ``key`` has been written (0 for never)."""
+        try:
+            return self._write_counts[key]
+        except KeyError:
+            raise UnknownItemError(key) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def journal(self) -> list[WriteRecord]:
+        """A copy of the write journal, oldest first."""
+        return list(self._journal)
+
+    def journal_since(self, seq: int) -> list[WriteRecord]:
+        """Journal entries with sequence number strictly above ``seq``."""
+        return [record for record in self._journal if record.seq > seq]
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest write (0 when empty)."""
+        return self._seq
+
+    @classmethod
+    def recover(cls, schema: list[str], journal: list[WriteRecord]) -> "Storage":
+        """Rebuild a store from a schema and a journal.
+
+        The journal must be replayed in order; this is what a crashed
+        server does with its (persistent) journal on restart.
+        """
+        store = cls()
+        for key in schema:
+            store.create(key)
+        for record in sorted(journal, key=lambda r: r.seq):
+            store.write(record.key, record.value)
+        return store

@@ -1,0 +1,211 @@
+"""Single-server transactions with strict two-phase locking.
+
+The paper is agnostic about the transactional model but names the
+canonical combination: "The system may use two-phase locking [2] on an
+individual server while relying on optimism for replica consistency"
+(section 2).  This module supplies that local layer:
+
+* a :class:`LockManager` with shared/exclusive item locks (upgrade
+  supported for a sole shared holder);
+* :class:`Transaction` objects with read/write sets — reads see the
+  transaction's own uncommitted writes, writes buffer until commit;
+* **strict 2PL**: locks are only released at commit or abort, so local
+  schedules are serializable and recoverable;
+* commits apply the buffered operations through the server atomically
+  (all-or-nothing with respect to other transactions *on this server*
+  — cross-replica consistency stays optimistic/epidemic, per the
+  paper's split of concerns).
+
+The simulator is single-threaded, so lock conflicts cannot block; a
+conflicting acquisition raises :class:`LockConflictError` immediately
+and the caller aborts or retries — a wound-free "no-wait" policy, which
+also makes deadlock impossible by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ReplicationError
+from repro.substrate.operations import UpdateOperation
+from repro.substrate.server import ReplicaServer
+
+__all__ = [
+    "LockMode",
+    "LockConflictError",
+    "TransactionError",
+    "LockManager",
+    "Transaction",
+    "TransactionManager",
+]
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockConflictError(ReplicationError):
+    """An item lock could not be granted (no-wait policy)."""
+
+    def __init__(self, item: str, requested: LockMode, holders: set[int]):
+        super().__init__(
+            f"{requested.value} lock on {item!r} denied; held by "
+            f"transactions {sorted(holders)}"
+        )
+        self.item = item
+        self.requested = requested
+        self.holders = holders
+
+
+class TransactionError(ReplicationError):
+    """A transaction was used after it finished, or misused."""
+
+
+class LockManager:
+    """Item-granularity shared/exclusive locks (no-wait)."""
+
+    def __init__(self) -> None:
+        self._shared: dict[str, set[int]] = {}
+        self._exclusive: dict[str, int] = {}
+
+    def acquire(self, txn_id: int, item: str, mode: LockMode) -> None:
+        """Grant the lock or raise :class:`LockConflictError`.
+
+        Re-acquisition and S→X upgrade by a sole shared holder succeed.
+        """
+        exclusive_holder = self._exclusive.get(item)
+        shared_holders = self._shared.get(item, set())
+        if mode is LockMode.SHARED:
+            if exclusive_holder is not None and exclusive_holder != txn_id:
+                raise LockConflictError(item, mode, {exclusive_holder})
+            if exclusive_holder != txn_id:
+                self._shared.setdefault(item, set()).add(txn_id)
+            return
+        # Exclusive.
+        if exclusive_holder is not None and exclusive_holder != txn_id:
+            raise LockConflictError(item, mode, {exclusive_holder})
+        others = shared_holders - {txn_id}
+        if others:
+            raise LockConflictError(item, mode, others)
+        self._shared.get(item, set()).discard(txn_id)
+        self._exclusive[item] = txn_id
+
+    def release_all(self, txn_id: int) -> None:
+        """Drop every lock ``txn_id`` holds (commit/abort)."""
+        for holders in self._shared.values():
+            holders.discard(txn_id)
+        for item in [i for i, t in self._exclusive.items() if t == txn_id]:
+            del self._exclusive[item]
+
+    def mode_held(self, txn_id: int, item: str) -> LockMode | None:
+        """The strongest mode ``txn_id`` holds on ``item``."""
+        if self._exclusive.get(item) == txn_id:
+            return LockMode.EXCLUSIVE
+        if txn_id in self._shared.get(item, set()):
+            return LockMode.SHARED
+        return None
+
+
+class _State(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """One strict-2PL transaction against one replica server."""
+
+    txn_id: int
+    server: ReplicaServer
+    locks: LockManager
+    _state: _State = field(default=_State.ACTIVE, init=False)
+    _writes: list[tuple[str, UpdateOperation]] = field(default_factory=list, init=False)
+    _write_view: dict[str, bytes] = field(default_factory=dict, init=False)
+
+    @property
+    def is_active(self) -> bool:
+        return self._state is _State.ACTIVE
+
+    def _check_active(self) -> None:
+        if self._state is not _State.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self._state.value}"
+            )
+
+    def read(self, item: str) -> bytes:
+        """Read under a shared lock; sees this transaction's own
+        buffered writes (read-your-own-writes within the transaction)."""
+        self._check_active()
+        if item in self._write_view:
+            return self._write_view[item]
+        self.locks.acquire(self.txn_id, item, LockMode.SHARED)
+        return self.server.read(item)
+
+    def write(self, item: str, op: UpdateOperation) -> None:
+        """Buffer an update under an exclusive lock."""
+        self._check_active()
+        self.locks.acquire(self.txn_id, item, LockMode.EXCLUSIVE)
+        base = self._write_view.get(item)
+        if base is None:
+            base = self.server.read(item)
+        self._write_view[item] = op.apply(base)
+        self._writes.append((item, op))
+
+    def commit(self) -> None:
+        """Apply the buffered updates through the server, release locks.
+
+        The single-threaded model makes the application atomic with
+        respect to other transactions; each applied update enters the
+        replication machinery exactly like a direct user update.
+        """
+        self._check_active()
+        for item, op in self._writes:
+            self.server.update(item, op)
+        self._state = _State.COMMITTED
+        self.locks.release_all(self.txn_id)
+
+    def abort(self) -> None:
+        """Discard buffered updates and release locks."""
+        self._check_active()
+        self._writes.clear()
+        self._write_view.clear()
+        self._state = _State.ABORTED
+        self.locks.release_all(self.txn_id)
+
+
+class TransactionManager:
+    """Per-server transaction factory sharing one lock table."""
+
+    def __init__(self, server: ReplicaServer):
+        self.server = server
+        self.locks = LockManager()
+        self._next_id = 1
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self._next_id, self.server, self.locks)
+        self._next_id += 1
+        return txn
+
+    def run(self, body) -> object:
+        """Execute ``body(txn)`` with commit-on-return, abort-on-raise.
+
+        Returns ``body``'s return value; re-raises its exception after
+        aborting.  Lock conflicts propagate to the caller (retry policy
+        is the application's business).
+        """
+        txn = self.begin()
+        try:
+            result = body(txn)
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+                self.aborted += 1
+            raise
+        txn.commit()
+        self.committed += 1
+        return result

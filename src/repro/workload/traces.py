@@ -1,0 +1,110 @@
+"""Workload traces: record, save, load, replay.
+
+Experiments that compare protocols must feed every protocol the *same*
+update sequence.  A :class:`Trace` captures a generated workload as
+plain data, can round-trip through a simple line-oriented text file
+(hex-encoded values; no serialization dependencies), and replays into
+any :class:`~repro.cluster.simulation.ClusterSimulation` with a chosen
+updates-per-round pacing.
+
+Only :class:`~repro.substrate.operations.Put` events are traceable —
+generators emit Puts, and cross-protocol comparisons require
+whole-value semantics anyway (see the baseline module docstrings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.cluster.simulation import ClusterSimulation, RoundStats
+from repro.substrate.operations import Put
+from repro.workload.generators import UpdateEvent
+
+__all__ = ["Trace"]
+
+
+@dataclass
+class Trace:
+    """An ordered, replayable sequence of update events."""
+
+    events: list[UpdateEvent] = field(default_factory=list)
+
+    @classmethod
+    def from_events(cls, events: Iterable[UpdateEvent]) -> "Trace":
+        trace = cls()
+        for event in events:
+            trace.record(event)
+        return trace
+
+    def record(self, event: UpdateEvent) -> None:
+        """Append one event; only Put operations are supported."""
+        if not isinstance(event.op, Put):
+            raise TypeError(
+                f"traces only support Put events, got {type(event.op).__name__}"
+            )
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as one ``node item hexvalue`` line per event."""
+        lines = [
+            f"{event.node} {event.item} {event.op.value.hex()}"  # type: ignore[attr-defined]
+            for event in self.events
+        ]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        trace = cls()
+        for line_no, line in enumerate(Path(path).read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(" ", 2)
+            if len(parts) != 3:
+                raise ValueError(f"malformed trace line {line_no}: {line!r}")
+            node_text, item, hex_value = parts
+            trace.record(
+                UpdateEvent(int(node_text), item, Put(bytes.fromhex(hex_value)))
+            )
+        return trace
+
+    # -- replay ------------------------------------------------------------------
+
+    def replay(
+        self,
+        sim: ClusterSimulation,
+        updates_per_round: int = 0,
+    ) -> list[RoundStats]:
+        """Feed the trace into ``sim``.
+
+        ``updates_per_round == 0`` applies every event up front (then the
+        caller runs rounds); a positive value interleaves: apply that
+        many events, run one round, repeat — the steady-state pattern
+        the anti-entropy overhead experiments use.  Returns the stats
+        of the rounds run (empty for the up-front mode).
+        """
+        if updates_per_round < 0:
+            raise ValueError(f"updates_per_round must be >= 0, got {updates_per_round}")
+        rounds: list[RoundStats] = []
+        if updates_per_round == 0:
+            for event in self.events:
+                sim.apply_update(event.node, event.item, event.op)
+            return rounds
+        pending = list(self.events)
+        while pending:
+            batch, pending = pending[:updates_per_round], pending[updates_per_round:]
+            for event in batch:
+                sim.apply_update(event.node, event.item, event.op)
+            rounds.append(sim.run_round())
+        return rounds

@@ -1,0 +1,76 @@
+"""Tests for the scaling-law classifier."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import classify_scaling, fit_series, growth_exponent
+
+
+XS = [100, 400, 1_600, 6_400, 25_600]
+
+
+class TestGrowthExponent:
+    def test_flat_series_has_zero_exponent(self):
+        assert abs(growth_exponent(XS, [7] * 5)) < 1e-9
+
+    def test_linear_series_has_unit_exponent(self):
+        assert growth_exponent(XS, [3 * x for x in XS]) == pytest.approx(1.0)
+
+    def test_quadratic_series_has_exponent_two(self):
+        assert growth_exponent(XS, [x * x for x in XS]) == pytest.approx(2.0)
+
+    def test_affine_series_approaches_one(self):
+        exponent = growth_exponent(XS, [5 * x + 1_000 for x in XS])
+        assert 0.7 < exponent <= 1.0
+
+    def test_zero_values_read_as_flat(self):
+        assert abs(growth_exponent(XS, [0] * 5)) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1, 2], [1, 2])          # too short
+        with pytest.raises(ValueError):
+            growth_exponent([3, 2, 1], [1, 2, 3])    # not increasing
+        with pytest.raises(ValueError):
+            growth_exponent([0, 1, 2], [1, 2, 3])    # non-positive x
+        with pytest.raises(ValueError):
+            growth_exponent([1, 2, 3], [1, -2, 3])   # negative y
+
+
+class TestClassification:
+    def test_constant(self):
+        fit = classify_scaling(XS, [4, 4, 4, 4, 4])
+        assert fit.model == "constant"
+        assert fit.is_flat()
+
+    def test_constant_with_jitter(self):
+        fit = classify_scaling(XS, [40, 42, 39, 41, 40])
+        assert fit.model == "constant"
+
+    def test_linear(self):
+        fit = classify_scaling(XS, [6 * x + 21 for x in XS])
+        assert fit.model == "linear"
+        assert fit.slope == pytest.approx(6.0, rel=1e-6)
+        assert fit.r_squared > 0.999
+
+    def test_logarithmic(self):
+        ys = [3.5 * math.log(x) + 2 for x in XS]
+        fit = classify_scaling(XS, ys)
+        assert fit.model == "logarithmic"
+        assert fit.slope == pytest.approx(3.5, rel=1e-6)
+
+    def test_noisy_logarithmic(self):
+        ys = [3.6, 6.2, 7.8, 9.2, 10.8]  # the actual E7 random series
+        fit = classify_scaling(XS, ys)
+        assert fit.model == "logarithmic"
+
+    def test_superlinear(self):
+        fit = classify_scaling(XS, [x ** 1.6 for x in XS])
+        assert fit.model == "superlinear"
+        assert fit.growth_exponent == pytest.approx(1.6, rel=1e-3)
+
+    def test_fit_series_reports_all_models(self):
+        fits = fit_series(XS, [2 * x for x in XS])
+        assert set(fits) == {"constant", "logarithmic", "linear"}
+        assert fits["linear"][1] > fits["logarithmic"][1]

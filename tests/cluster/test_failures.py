@@ -1,0 +1,86 @@
+"""Unit tests for failure plans and the mid-push crash hook."""
+
+import pytest
+
+from repro.cluster.failures import (
+    Crash,
+    CrashAfterPartialPush,
+    FailurePlan,
+    HealEvent,
+    PartitionEvent,
+    Recover,
+)
+from repro.cluster.network import SimulatedNetwork
+
+
+class TestFailurePlan:
+    def test_crash_and_recover_fire_at_their_rounds(self):
+        plan = FailurePlan([Crash(node=1, at_round=2), Recover(node=1, at_round=4)])
+        net = SimulatedNetwork(3)
+        assert plan.apply_round(1, net) == []
+        assert net.is_up(1)
+        plan.apply_round(2, net)
+        assert not net.is_up(1)
+        plan.apply_round(3, net)
+        assert not net.is_up(1)
+        plan.apply_round(4, net)
+        assert net.is_up(1)
+
+    def test_partition_and_heal(self):
+        plan = FailurePlan([
+            PartitionEvent(groups=((0, 1), (2,)), at_round=1),
+            HealEvent(at_round=3),
+        ])
+        net = SimulatedNetwork(3)
+        plan.apply_round(1, net)
+        assert net.can_reach(0, 1)
+        assert not net.can_reach(0, 2)
+        plan.apply_round(3, net)
+        assert net.can_reach(0, 2)
+
+    def test_crashed_through_tracks_down_set(self):
+        plan = FailurePlan([
+            Crash(node=0, at_round=1),
+            Crash(node=1, at_round=3),
+            Recover(node=0, at_round=5),
+        ])
+        assert plan.crashed_through(0) == set()
+        assert plan.crashed_through(2) == {0}
+        assert plan.crashed_through(4) == {0, 1}
+        assert plan.crashed_through(5) == {1}
+
+    def test_multiple_events_same_round(self):
+        plan = FailurePlan([Crash(node=0, at_round=1), Crash(node=1, at_round=1)])
+        net = SimulatedNetwork(3)
+        fired = plan.apply_round(1, net)
+        assert len(fired) == 2
+        assert not net.is_up(0) and not net.is_up(1)
+
+
+class TestCrashAfterPartialPush:
+    def test_crashes_after_quota(self):
+        net = SimulatedNetwork(4)
+        hook = CrashAfterPartialPush(node=0, after_peers=2)
+        hook.note_push(0)
+        assert not hook.should_crash_now(0, net)
+        hook.note_push(0)
+        assert hook.should_crash_now(0, net)
+        assert hook.fired
+        assert not net.is_up(0)
+
+    def test_ignores_other_nodes(self):
+        net = SimulatedNetwork(4)
+        hook = CrashAfterPartialPush(node=0, after_peers=1)
+        hook.note_push(2)
+        assert not hook.should_crash_now(2, net)
+        assert not hook.fired
+
+    def test_fires_only_once(self):
+        net = SimulatedNetwork(4)
+        hook = CrashAfterPartialPush(node=0, after_peers=1)
+        hook.note_push(0)
+        assert hook.should_crash_now(0, net)
+        net.set_up(0)
+        hook.note_push(0)
+        assert not hook.should_crash_now(0, net)
+        assert net.is_up(0)

@@ -1,0 +1,161 @@
+"""Unit tests for the simulated network."""
+
+import random
+
+import pytest
+
+from repro.cluster.network import SimulatedNetwork
+from repro.core.messages import YouAreCurrent
+from repro.errors import MessageLostError, NodeDownError, UnknownNodeError
+from repro.metrics.counters import OverheadCounters
+
+MSG = YouAreCurrent(0)  # any sized message
+
+
+class TestDelivery:
+    def test_deliver_returns_message_and_charges(self):
+        counters = OverheadCounters()
+        net = SimulatedNetwork(3, counters=counters)
+        assert net.deliver(0, 1, MSG) is MSG
+        assert counters.messages_sent == 1
+        assert counters.bytes_sent == MSG.wire_size()
+
+    def test_link_stats_are_directional(self):
+        net = SimulatedNetwork(3)
+        net.deliver(0, 1, MSG)
+        net.deliver(0, 1, MSG)
+        net.deliver(1, 0, MSG)
+        assert net.link_stats(0, 1).messages == 2
+        assert net.link_stats(1, 0).messages == 1
+        assert net.link_stats(2, 0).messages == 0
+        assert net.total_messages() == 3
+        assert net.total_bytes() == 3 * MSG.wire_size()
+
+    def test_latency_accumulates(self):
+        net = SimulatedNetwork(2, link_latency=2.5)
+        net.deliver(0, 1, MSG)
+        net.deliver(1, 0, MSG)
+        assert net.latency_total == 5.0
+
+    def test_unknown_nodes_rejected(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(UnknownNodeError):
+            net.deliver(0, 9, MSG)
+        with pytest.raises(UnknownNodeError):
+            net.is_up(-1)
+
+
+class TestLiveness:
+    def test_down_destination_raises(self):
+        net = SimulatedNetwork(2)
+        net.set_down(1)
+        with pytest.raises(NodeDownError):
+            net.deliver(0, 1, MSG)
+
+    def test_down_source_raises(self):
+        net = SimulatedNetwork(2)
+        net.set_down(0)
+        with pytest.raises(NodeDownError):
+            net.deliver(0, 1, MSG)
+
+    def test_recovery_restores_delivery(self):
+        net = SimulatedNetwork(2)
+        net.set_down(1)
+        net.set_up(1)
+        net.deliver(0, 1, MSG)
+
+    def test_no_charge_for_failed_connect(self):
+        counters = OverheadCounters()
+        net = SimulatedNetwork(2, counters=counters)
+        net.set_down(1)
+        with pytest.raises(NodeDownError):
+            net.deliver(0, 1, MSG)
+        assert counters.messages_sent == 0
+
+
+class TestPartitions:
+    def test_partitioned_nodes_cannot_communicate(self):
+        net = SimulatedNetwork(4)
+        net.partition([[0, 1], [2, 3]])
+        net.deliver(0, 1, MSG)
+        net.deliver(2, 3, MSG)
+        with pytest.raises(NodeDownError):
+            net.deliver(0, 2, MSG)
+        assert not net.can_reach(1, 3)
+
+    def test_unlisted_nodes_become_singletons(self):
+        net = SimulatedNetwork(3)
+        net.partition([[0, 1]])
+        with pytest.raises(NodeDownError):
+            net.deliver(0, 2, MSG)
+
+    def test_heal_restores_full_connectivity(self):
+        net = SimulatedNetwork(4)
+        net.partition([[0], [1], [2], [3]])
+        net.heal()
+        net.deliver(0, 3, MSG)
+
+    def test_node_in_two_groups_rejected(self):
+        net = SimulatedNetwork(3)
+        with pytest.raises(ValueError):
+            net.partition([[0, 1], [1, 2]])
+
+    def test_heal_does_not_revive_crashed_nodes(self):
+        net = SimulatedNetwork(2)
+        net.set_down(1)
+        net.heal()
+        with pytest.raises(NodeDownError):
+            net.deliver(0, 1, MSG)
+
+
+class TestLoss:
+    def test_loss_requires_rng(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork(2, loss_rate=0.5)
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork(2, loss_rate=1.0, rng=random.Random(0))
+
+    def test_lossy_network_drops_deterministically(self):
+        net = SimulatedNetwork(2, loss_rate=0.5, rng=random.Random(42))
+        outcomes = []
+        for _ in range(50):
+            try:
+                net.deliver(0, 1, MSG)
+                outcomes.append(True)
+            except MessageLostError:
+                outcomes.append(False)
+        assert any(outcomes) and not all(outcomes)
+        assert net.messages_dropped == outcomes.count(False)
+        # Deterministic under the same seed.
+        net2 = SimulatedNetwork(2, loss_rate=0.5, rng=random.Random(42))
+        outcomes2 = []
+        for _ in range(50):
+            try:
+                net2.deliver(0, 1, MSG)
+                outcomes2.append(True)
+            except MessageLostError:
+                outcomes2.append(False)
+        assert outcomes == outcomes2
+
+
+class TestDynamicGrowth:
+    def test_add_node_joins_up_and_reachable(self):
+        net = SimulatedNetwork(2)
+        new_id = net.add_node()
+        assert new_id == 2
+        assert net.n_nodes == 3
+        assert net.is_up(2)
+        net.deliver(0, 2, MSG)
+        net.deliver(2, 1, MSG)
+
+    def test_add_node_joins_default_partition_group(self):
+        net = SimulatedNetwork(3)
+        net.partition([[0, 1], [2]])
+        new_id = net.add_node()
+        # The newcomer lands in group 0 — reachable from nodes 0 and 1.
+        assert net.can_reach(0, new_id)
+        assert not net.can_reach(2, new_id)
+        net.heal()
+        assert net.can_reach(2, new_id)

@@ -1,0 +1,149 @@
+"""Unit and integration tests for the cluster simulation driver."""
+
+import pytest
+
+from repro.cluster.failures import Crash, FailurePlan, Recover
+from repro.cluster.scheduler import RingSelector
+from repro.cluster.simulation import ClusterSimulation
+from repro.errors import NodeDownError
+from repro.experiments.common import make_factory, make_items
+from repro.substrate.operations import Put
+
+ITEMS = make_items(20)
+
+
+def make_sim(protocol="dbvv", n_nodes=4, seed=5, **kwargs):
+    return ClusterSimulation(
+        make_factory(protocol, n_nodes, ITEMS), n_nodes, ITEMS, seed=seed, **kwargs
+    )
+
+
+class TestBasics:
+    def test_nodes_are_constructed_with_ids(self):
+        sim = make_sim(n_nodes=3)
+        assert [node.node_id for node in sim.nodes] == [0, 1, 2]
+
+    def test_apply_update_reaches_node_and_ground_truth(self):
+        sim = make_sim()
+        sim.apply_update(1, ITEMS[0], Put(b"v"))
+        assert sim.nodes[1].read(ITEMS[0]) == b"v"
+        assert sim.ground_truth.value(ITEMS[0]) == b"v"
+
+    def test_update_on_crashed_node_rejected(self):
+        sim = make_sim()
+        sim.network.set_down(1)
+        with pytest.raises(NodeDownError):
+            sim.apply_update(1, ITEMS[0], Put(b"v"))
+
+    def test_round_stats_accumulate_in_history(self):
+        sim = make_sim()
+        sim.run_round()
+        sim.run_round()
+        assert [s.round_no for s in sim.history] == [1, 2]
+        assert all(s.sessions == 4 for s in sim.history)
+
+    def test_identical_replicas_make_identical_sessions(self):
+        sim = make_sim()
+        stats = sim.run_round()
+        assert stats.identical_sessions == stats.sessions
+        assert stats.items_transferred == 0
+
+
+class TestConvergence:
+    def test_run_until_converged_spreads_one_update(self):
+        sim = make_sim()
+        sim.apply_update(0, ITEMS[3], Put(b"v"))
+        rounds = sim.run_until_converged(max_rounds=50)
+        assert rounds >= 1
+        assert all(node.read(ITEMS[3]) == b"v" for node in sim.nodes)
+        assert sim.ground_truth.fully_current(sim.nodes)
+
+    def test_already_converged_returns_zero_rounds(self):
+        sim = make_sim()
+        assert sim.run_until_converged() == 0
+
+    def test_non_convergence_raises(self):
+        sim = make_sim()
+        # Plant a conflict: the DBVV protocol freezes conflicting items,
+        # so replicas can never converge without resolution.
+        sim.apply_update(0, ITEMS[0], Put(b"a"))
+        sim.apply_update(1, ITEMS[0], Put(b"b"))
+        with pytest.raises(AssertionError):
+            sim.run_until_converged(max_rounds=10)
+        assert sim.total_conflicts() > 0
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            sim = make_sim(seed=seed)
+            sim.apply_update(0, ITEMS[0], Put(b"v"))
+            rounds = sim.run_until_converged(max_rounds=50)
+            return rounds, sim.total_counters.snapshot()
+
+        assert run(9) == run(9)
+        # Different seeds may differ (not asserted — just must not crash).
+        run(10)
+
+    def test_ring_selector_respected(self):
+        sim = make_sim(selector=RingSelector())
+        sim.apply_update(0, ITEMS[0], Put(b"v"))
+        sim.run_until_converged(max_rounds=20)
+
+
+class TestFailures:
+    def test_sessions_with_crashed_peer_fail(self):
+        sim = make_sim(n_nodes=3, failure_plan=FailurePlan([Crash(node=2, at_round=1)]))
+        stats = sim.run_round()
+        # Node 2 runs no session; some sessions may target node 2.
+        assert stats.sessions == 2
+        assert sim.up_nodes() == [0, 1]
+
+    def test_recovered_node_catches_up(self):
+        plan = FailurePlan([Crash(node=2, at_round=1), Recover(node=2, at_round=5)])
+        sim = make_sim(n_nodes=3, failure_plan=plan)
+        sim.apply_update(0, ITEMS[0], Put(b"v"))
+        for _ in range(4):
+            sim.run_round()
+        assert sim.converged()  # live nodes only
+        assert sim.nodes[2].read(ITEMS[0]) == b""
+        sim.run_until_converged(max_rounds=30)
+        assert sim.nodes[2].read(ITEMS[0]) == b"v"
+
+    def test_full_mesh_round_covers_all_pairs(self):
+        sim = make_sim(n_nodes=3)
+        sim.apply_update(0, ITEMS[0], Put(b"v"))
+        stats = sim.run_full_mesh_round()
+        assert stats.sessions == 6
+        assert sim.converged()
+
+
+class TestAccounting:
+    def test_total_counters_include_network_traffic(self):
+        sim = make_sim()
+        sim.apply_update(0, ITEMS[0], Put(b"v"))
+        sim.run_round()
+        totals = sim.total_counters
+        assert totals.messages_sent > 0
+        assert totals.bytes_sent > 0
+
+    def test_stale_pairs_tracked_per_round(self):
+        sim = make_sim()
+        sim.apply_update(0, ITEMS[0], Put(b"v"))
+        stats = sim.run_round()
+        assert stats.stale_pairs is not None
+        sim.run_until_converged(max_rounds=50)
+        assert sim.history[-1].stale_pairs in (0, None) or sim.run_round().stale_pairs == 0
+
+
+class TestHistoryTable:
+    def test_history_table_renders_and_exports(self):
+        sim = make_sim()
+        sim.apply_update(0, ITEMS[0], Put(b"v"))
+        sim.run_round()
+        sim.run_round()
+        table = sim.history_table("demo")
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "stale pairs" in rendered
+        csv = table.to_csv()
+        assert csv.splitlines()[0].startswith("round,sessions")
+        assert len(csv.splitlines()) == 3  # header + 2 rounds

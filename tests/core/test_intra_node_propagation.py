@@ -1,0 +1,158 @@
+"""Unit tests for IntraNodePropagation (paper Figure 4)."""
+
+from repro.core.conflicts import ConflictSite
+from repro.core.node import EpidemicNode
+from repro.substrate.operations import Append, Put
+
+ITEMS = ["x", "y"]
+
+
+def make_pair():
+    return EpidemicNode(0, 2, ITEMS), EpidemicNode(1, 2, ITEMS)
+
+
+def setup_oob_with_deferred(node, source, deferred):
+    """Source updates x; node copies it out-of-bound and applies
+    ``deferred`` local updates to the auxiliary copy."""
+    source.update("x", Put(b"base"))
+    assert node.copy_out_of_bound("x", source)
+    for k in range(deferred):
+        node.update("x", Append(f"+{k}".encode()))
+
+
+class TestReplay:
+    def test_replay_applies_deferred_updates_to_regular_copy(self):
+        a, b = make_pair()
+        setup_oob_with_deferred(a, b, deferred=2)
+        _, intra = a.pull_from(b)
+        assert intra.replayed == 2
+        assert a.store["x"].value == b"base+0+1"
+
+    def test_replayed_updates_count_as_local_updates(self):
+        """Each replayed op increments v_ii(x), V_ii, and appends to
+        L_ii — exactly like a user update (Fig. 4)."""
+        a, b = make_pair()
+        setup_oob_with_deferred(a, b, deferred=2)
+        a.pull_from(b)
+        assert a.store["x"].ivv.as_tuple() == (2, 1)
+        assert a.dbvv.as_tuple() == (2, 1)
+        assert a.log[0].pairs() == [("x", 2)]
+
+    def test_auxiliary_discarded_after_catchup(self):
+        a, b = make_pair()
+        setup_oob_with_deferred(a, b, deferred=3)
+        _, intra = a.pull_from(b)
+        assert intra.auxiliaries_discarded == ["x"]
+        assert not a.store["x"].has_auxiliary
+        assert len(a.aux_log) == 0
+
+    def test_zero_deferred_updates_still_discards_auxiliary(self):
+        a, b = make_pair()
+        setup_oob_with_deferred(a, b, deferred=0)
+        _, intra = a.pull_from(b)
+        assert intra.replayed == 0
+        assert intra.auxiliaries_discarded == ["x"]
+        assert a.read("x") == b"base"
+
+    def test_replayed_updates_propagate_onwards(self):
+        """After replay, the deferred updates are regular history and
+        flow to other replicas through normal propagation."""
+        a, b = make_pair()
+        setup_oob_with_deferred(a, b, deferred=2)
+        a.pull_from(b)
+        outcome, _ = b.pull_from(a)
+        assert outcome.adopted == ["x"]
+        assert b.read("x") == b"base+0+1"
+        a.check_invariants()
+        b.check_invariants()
+
+    def test_user_reads_consistent_throughout_episode(self):
+        """The user-visible value never goes backwards during the
+        OOB → defer → replay → discard cycle."""
+        a, b = make_pair()
+        b.update("x", Put(b"base"))
+        a.copy_out_of_bound("x", b)
+        assert a.read("x") == b"base"
+        a.update("x", Append(b"+1"))
+        assert a.read("x") == b"base+1"
+        a.pull_from(b)
+        assert a.read("x") == b"base+1"
+
+
+class TestDeferredReplay:
+    def test_replay_waits_until_regular_copy_catches_up(self):
+        """If the regular copy is still behind the auxiliary record's
+        pre-IVV, nothing replays yet (DOMINATED branch of Fig. 4)."""
+        a, b = make_pair()
+        b.update("x", Put(b"v1"))
+        b.update("x", Put(b"v2"))
+        a.copy_out_of_bound("x", b)          # aux ivv (0,2)
+        a.update("x", Append(b"+a"))         # record pre-ivv (0,2)
+        # Regular copy never caught up (no propagation) — replay by hand:
+        outcome = a.intra_node_propagation(["x"])
+        assert outcome.replayed == 0
+        assert a.store["x"].has_auxiliary
+        assert len(a.aux_log) == 1
+
+    def test_partial_catchup_does_not_replay(self):
+        """Regular copy behind by one update: the pre-IVV comparison is
+        DOMINATED, replay defers to the next propagation."""
+        a, b = make_pair()
+        b.update("x", Put(b"v1"))
+        a.pull_from(b)                       # regular at (0,1)
+        b.update("x", Put(b"v2"))
+        a.copy_out_of_bound("x", b)          # aux at (0,2)
+        a.update("x", Append(b"+a"))
+        outcome = a.intra_node_propagation(["x"])
+        assert outcome.replayed == 0
+        # Now the scheduled propagation arrives and replay completes.
+        _, intra = a.pull_from(b)
+        assert intra.replayed == 1
+        assert a.read("x") == b"v2+a"
+        assert not a.store["x"].has_auxiliary
+
+    def test_multi_episode_interleaving(self):
+        """Two OOB refreshes with deferred updates in between still
+        produce the auxiliary lineage on the regular copy."""
+        a, b = make_pair()
+        b.update("x", Put(b"v1:"))
+        a.copy_out_of_bound("x", b)
+        a.update("x", Append(b"a1;"))
+        _, intra1 = a.pull_from(b)
+        assert intra1.replayed == 1
+        # Second episode.
+        b.pull_from(a)
+        b.update("x", Append(b"b1;"))
+        a.copy_out_of_bound("x", b)
+        a.update("x", Append(b"a2;"))
+        _, intra2 = a.pull_from(b)
+        assert intra2.replayed == 1
+        assert a.read("x") == b"v1:a1;b1;a2;"
+        a.check_invariants()
+
+
+class TestConflictDetectionDuringReplay:
+    def test_conflicting_pre_ivv_declares_inconsistency(self):
+        """Fig. 4: a replayed record whose pre-IVV conflicts with the
+        regular IVV proves inconsistent replicas exist."""
+        a, b = make_pair()
+        b.update("x", Put(b"remote"))
+        a.copy_out_of_bound("x", b)          # aux ivv (0,1)
+        a.update("x", Append(b"+a"))         # pre-ivv (0,1)
+        # Meanwhile a's regular copy gets a *conflicting* history: a
+        # local regular update would need no aux... simulate the race by
+        # writing at a third party and pulling it — build it with a
+        # fresh concurrent lineage at a itself before the pull:
+        # The regular copy gains an update concurrent with (0,1):
+        entry = a.store["x"]
+        entry.value = b"concurrent"
+        entry.ivv.increment(0)               # regular ivv now (1,0)
+        a.dbvv.record_local_update_by(0)
+        a.log.add(0, "x", a.dbvv[0])
+        outcome = a.intra_node_propagation(["x"])
+        assert outcome.conflicts == ["x"]
+        (report,) = a.conflicts.reports
+        assert report.site is ConflictSite.INTRA_NODE
+        # Nothing was replayed or lost.
+        assert len(a.aux_log) == 1
+        assert entry.value == b"concurrent"

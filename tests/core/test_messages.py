@@ -1,0 +1,94 @@
+"""Unit tests for protocol messages and the wire-size model."""
+
+from repro.core.log_vector import LOG_RECORD_WIRE_SIZE
+from repro.core.messages import (
+    WORD_SIZE,
+    ItemPayload,
+    OutOfBoundReply,
+    OutOfBoundRequest,
+    PropagationReply,
+    PropagationRequest,
+    YouAreCurrent,
+    vv_wire_size,
+)
+from repro.core.version_vector import VersionVector
+
+
+def vv(*counts):
+    return VersionVector.from_counts(list(counts))
+
+
+class TestSizes:
+    def test_vv_size_scales_with_replica_set(self):
+        assert vv_wire_size(vv(0, 0)) == 2 * WORD_SIZE
+        assert vv_wire_size(vv(0, 0, 0, 0)) == 4 * WORD_SIZE
+
+    def test_request_is_one_vector_plus_identity(self):
+        request = PropagationRequest(0, vv(1, 2, 3))
+        assert request.wire_size() == WORD_SIZE + 3 * WORD_SIZE
+
+    def test_you_are_current_is_constant_size(self):
+        """The 'nothing to do' answer must not scale with anything —
+        that is the O(1) traffic claim."""
+        assert YouAreCurrent(0).wire_size() == WORD_SIZE
+
+    def test_item_payload_size(self):
+        payload = ItemPayload("x", b"12345", vv(0, 1))
+        assert payload.wire_size() == WORD_SIZE + 5 + 2 * WORD_SIZE
+
+    def test_reply_size_sums_tails_and_payloads(self):
+        reply = PropagationReply(
+            source=1,
+            tails=((("x", 1),), ()),
+            items=(ItemPayload("x", b"abc", vv(1, 0)),),
+        )
+        expected = (
+            WORD_SIZE
+            + 1 * LOG_RECORD_WIRE_SIZE
+            + (WORD_SIZE + 3 + 2 * WORD_SIZE)
+        )
+        assert reply.wire_size() == expected
+
+    def test_reply_record_count(self):
+        reply = PropagationReply(
+            source=0,
+            tails=((("x", 1), ("y", 2)), (("z", 3),)),
+            items=(),
+        )
+        assert reply.record_count() == 3
+
+    def test_metadata_per_item_is_constant(self):
+        """Reply size minus payload bytes grows by a constant per item
+        (one record + one IVV + a name ref) — paper section 6."""
+        def reply_with(m):
+            tails = (tuple((f"i{k}", k + 1) for k in range(m)), ())
+            items = tuple(ItemPayload(f"i{k}", b"v" * 10, vv(k + 1, 0)) for k in range(m))
+            return PropagationReply(0, tails, items)
+
+        size_1 = reply_with(1).wire_size()
+        size_2 = reply_with(2).wire_size()
+        size_5 = reply_with(5).wire_size()
+        per_item = size_2 - size_1
+        assert size_5 == size_1 + 4 * per_item
+
+    def test_oob_messages(self):
+        request = OutOfBoundRequest(2, "x")
+        reply = OutOfBoundReply(1, "x", b"valu", vv(0, 3))
+        assert request.wire_size() == 2 * WORD_SIZE
+        assert reply.wire_size() == 2 * WORD_SIZE + 4 + 2 * WORD_SIZE
+
+
+class TestValueSemantics:
+    def test_messages_are_frozen(self):
+        request = PropagationRequest(0, vv(1))
+        try:
+            request.recipient = 9  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("messages must be immutable")
+
+    def test_payload_equality(self):
+        a = ItemPayload("x", b"v", vv(1, 0))
+        b = ItemPayload("x", b"v", vv(1, 0))
+        assert a == b

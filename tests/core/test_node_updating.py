@@ -1,0 +1,109 @@
+"""Unit tests for the updating procedure (paper section 5.3)."""
+
+import pytest
+
+from repro.core.node import EpidemicNode
+from repro.errors import UnknownItemError
+from repro.substrate.operations import Append, CounterAdd, Put
+
+ITEMS = ["x", "y", "z"]
+
+
+def make_node(node_id=0, n_nodes=2):
+    return EpidemicNode(node_id, n_nodes, ITEMS)
+
+
+class TestRegularUpdates:
+    def test_update_applies_operation_to_value(self):
+        node = make_node()
+        node.update("x", Put(b"hello"))
+        node.update("x", Append(b" world"))
+        assert node.read("x") == b"hello world"
+
+    def test_update_increments_ivv_own_component(self):
+        node = make_node(node_id=1)
+        node.update("x", Put(b"v"))
+        assert node.store["x"].ivv.as_tuple() == (0, 1)
+
+    def test_update_increments_dbvv_own_component(self):
+        node = make_node(node_id=1)
+        node.update("x", Put(b"v"))
+        node.update("y", Put(b"v"))
+        assert node.dbvv.as_tuple() == (0, 2)
+
+    def test_update_appends_log_record_with_dbvv_seqno(self):
+        """The log record carries V_ii *including* this update — the
+        update's sequence number at its origin."""
+        node = make_node(node_id=0)
+        node.update("x", Put(b"a"))
+        node.update("y", Put(b"b"))
+        node.update("x", Put(b"c"))
+        assert node.log[0].pairs() == [("y", 2), ("x", 3)]
+
+    def test_updates_to_unknown_item_raise(self):
+        node = make_node()
+        with pytest.raises(UnknownItemError):
+            node.update("nope", Put(b"v"))
+
+    def test_counter_semantics(self):
+        node = make_node()
+        node.update("x", CounterAdd(5))
+        node.update("x", CounterAdd(-2))
+        assert CounterAdd.read(node.read("x")) == 3
+
+    def test_updates_never_touch_other_origins_log(self):
+        node = make_node(node_id=0, n_nodes=3)
+        node.update("x", Put(b"v"))
+        assert len(node.log[1]) == 0
+        assert len(node.log[2]) == 0
+
+    def test_invariants_after_many_updates(self):
+        node = make_node()
+        for k in range(50):
+            node.update(ITEMS[k % 3], Put(f"v{k}".encode()))
+        node.check_invariants()
+
+
+class TestAuxiliaryRouting:
+    """With an auxiliary copy present, updates go to auxiliary state
+    and leave every regular structure untouched."""
+
+    @pytest.fixture
+    def pair(self):
+        source = make_node(node_id=0)
+        node = make_node(node_id=1)
+        source.update("x", Put(b"base"))
+        assert node.copy_out_of_bound("x", source)
+        return node, source
+
+    def test_update_goes_to_auxiliary_value(self, pair):
+        node, _source = pair
+        node.update("x", Append(b"+local"))
+        assert node.read("x") == b"base+local"
+        # The regular copy is untouched.
+        assert node.store["x"].value == b""
+
+    def test_update_increments_auxiliary_ivv_only(self, pair):
+        node, _source = pair
+        node.update("x", Append(b"+local"))
+        assert node.store["x"].aux_ivv.as_tuple() == (1, 1)
+        assert node.store["x"].ivv.as_tuple() == (0, 0)
+
+    def test_update_does_not_touch_dbvv_or_log(self, pair):
+        node, _source = pair
+        node.update("x", Append(b"+local"))
+        assert node.dbvv.as_tuple() == (0, 0)
+        assert len(node.log) == 0
+
+    def test_update_is_recorded_in_auxiliary_log(self, pair):
+        node, _source = pair
+        node.update("x", Append(b"+1"))
+        node.update("x", Append(b"+2"))
+        assert len(node.aux_log) == 2
+        earliest = node.aux_log.earliest("x")
+        assert earliest.op == Append(b"+1")
+        assert earliest.pre_ivv.as_tuple() == (1, 0)
+
+    def test_reads_see_auxiliary_value(self, pair):
+        node, _source = pair
+        assert node.read("x") == b"base"

@@ -1,0 +1,105 @@
+"""Edge cases of the propagation procedures the main tests skim over."""
+
+from repro.core.messages import PropagationReply, YouAreCurrent
+from repro.core.node import EpidemicNode
+from repro.substrate.operations import Append, Put
+
+ITEMS = [f"item-{k}" for k in range(12)]
+
+
+def make_nodes(n=3):
+    return [EpidemicNode(k, n, ITEMS) for k in range(n)]
+
+
+class TestMixedDominance:
+    def test_tails_built_only_for_origins_where_source_is_ahead(self):
+        """a ahead on origin 0, b ahead on origin 1: a pull from b must
+        carry only origin-1 records, and vice versa."""
+        a, b, _ = make_nodes()
+        a.update(ITEMS[0], Put(b"from-a"))
+        b.update(ITEMS[1], Put(b"from-b"))
+        reply = b.send_propagation(a.make_propagation_request())
+        assert isinstance(reply, PropagationReply)
+        assert reply.tails[0] == ()
+        assert reply.tails[1] == ((ITEMS[1], 1),)
+        assert [p.name for p in reply.items] == [ITEMS[1]]
+
+    def test_mutual_pulls_from_mixed_state_converge(self):
+        a, b, _ = make_nodes()
+        a.update(ITEMS[0], Put(b"from-a"))
+        b.update(ITEMS[1], Put(b"from-b"))
+        a.pull_from(b)
+        b.pull_from(a)
+        assert a.state_fingerprint() == b.state_fingerprint()
+        assert a.dbvv == b.dbvv
+
+    def test_item_with_updates_from_three_origins(self):
+        """An item whose lineage passes through every node ships with
+        one payload but three tail records (one per origin)."""
+        a, b, c = make_nodes()
+        a.update(ITEMS[0], Put(b"a;"))
+        b.pull_from(a)
+        b.update(ITEMS[0], Append(b"b;"))
+        c.pull_from(b)
+        c.update(ITEMS[0], Append(b"c;"))
+        fresh = EpidemicNode(0, 3, ITEMS)
+        reply = c.send_propagation(fresh.make_propagation_request())
+        names = [p.name for p in reply.items]
+        assert names == [ITEMS[0]]
+        per_origin = [len(tail) for tail in reply.tails]
+        assert per_origin == [1, 1, 1]
+        fresh.accept_propagation(reply)
+        assert fresh.read(ITEMS[0]) == b"a;b;c;"
+        assert fresh.store[ITEMS[0]].ivv.as_tuple() == (1, 1, 1)
+
+
+class TestIdempotence:
+    def test_double_pull_is_a_noop(self):
+        a, b, _ = make_nodes()
+        b.update(ITEMS[0], Put(b"v"))
+        a.pull_from(b)
+        snapshot = a.state_fingerprint()
+        dbvv = a.dbvv.copy()
+        outcome, _ = a.pull_from(b)
+        assert outcome.adopted == []
+        assert a.state_fingerprint() == snapshot
+        assert a.dbvv == dbvv
+
+    def test_stale_reply_can_be_replayed_safely(self):
+        """Accepting the same (old) reply twice must not double-count:
+        the second application sees equal vectors and skips (C2)."""
+        a, b, _ = make_nodes()
+        b.update(ITEMS[0], Put(b"v"))
+        reply = b.send_propagation(a.make_propagation_request())
+        a.accept_propagation(reply)
+        dbvv_after_first = a.dbvv.copy()
+        outcome, _ = a.accept_propagation(reply)
+        assert outcome.adopted == []
+        assert outcome.skipped == [ITEMS[0]]
+        assert a.dbvv == dbvv_after_first
+        a.check_invariants()
+
+
+class TestLongChains:
+    def test_five_hop_relay_with_interleaved_updates(self):
+        nodes = [EpidemicNode(k, 5, ITEMS) for k in range(5)]
+        nodes[0].update(ITEMS[0], Put(b"h0;"))
+        for hop in range(1, 5):
+            nodes[hop].pull_from(nodes[hop - 1])
+            nodes[hop].update(ITEMS[0], Append(f"h{hop};".encode()))
+        assert nodes[4].read(ITEMS[0]) == b"h0;h1;h2;h3;h4;"
+        # The tail end serves the full lineage to the origin in one pull.
+        outcome, _ = nodes[0].pull_from(nodes[4])
+        assert outcome.adopted == [ITEMS[0]]
+        assert nodes[0].read(ITEMS[0]) == b"h0;h1;h2;h3;h4;"
+        assert nodes[0].store[ITEMS[0]].ivv.as_tuple() == (1, 1, 1, 1, 1)
+        for node in nodes:
+            node.check_invariants()
+
+    def test_you_are_current_after_full_relay(self):
+        nodes = [EpidemicNode(k, 4, ITEMS) for k in range(4)]
+        nodes[0].update(ITEMS[3], Put(b"v"))
+        for hop in range(1, 4):
+            nodes[hop].pull_from(nodes[hop - 1])
+        answer = nodes[3].send_propagation(nodes[1].make_propagation_request())
+        assert isinstance(answer, YouAreCurrent)

@@ -1,0 +1,85 @@
+"""Shape assertions for experiments E1 and E2.
+
+These encode the paper's asymptotic claims as testable ratios: flat
+means the large-N cost is (nearly) the small-N cost; linear means it
+scales with the size ratio.  Sizes are kept modest so the tests are
+fast; the benchmarks run the full sweeps.
+"""
+
+from repro.experiments.e1_identical_detection import run_triangle_session
+from repro.experiments.e2_propagation_cost import run_session
+
+
+def by_protocol(rows):
+    out = {}
+    for row in rows:
+        out.setdefault(row.protocol, []).append(row)
+    return out
+
+
+class TestE1IdenticalDetection:
+    def test_dbvv_work_is_flat_in_n(self):
+        small = run_triangle_session("dbvv", 100, updates=10)
+        large = run_triangle_session("dbvv", 2_000, updates=10)
+        assert small.detected_identical and large.detected_identical
+        assert large.work == small.work
+
+    def test_dbvv_traffic_is_flat_in_n(self):
+        small = run_triangle_session("dbvv", 100, updates=10)
+        large = run_triangle_session("dbvv", 2_000, updates=10)
+        assert large.bytes_sent == small.bytes_sent
+
+    def test_per_item_work_is_linear_in_n(self):
+        small = run_triangle_session("per-item-vv", 100, updates=10)
+        large = run_triangle_session("per-item-vv", 2_000, updates=10)
+        assert large.work >= 15 * small.work
+
+    def test_lotus_work_is_linear_in_n(self):
+        small = run_triangle_session("lotus", 100, updates=10)
+        large = run_triangle_session("lotus", 2_000, updates=10)
+        assert not small.detected_identical  # Lotus can't tell (paper 8.1)
+        assert large.work >= 10 * small.work
+
+    def test_dbvv_beats_baselines_outright(self):
+        n = 1_000
+        dbvv = run_triangle_session("dbvv", n, updates=10)
+        for baseline in ("per-item-vv", "lotus"):
+            other = run_triangle_session(baseline, n, updates=10)
+            assert other.work > 50 * dbvv.work
+
+
+class TestE2PropagationCost:
+    def test_dbvv_cost_independent_of_n(self):
+        small = run_session("dbvv", 200, 16)
+        large = run_session("dbvv", 4_000, 16)
+        assert large.work == small.work
+        assert large.bytes_sent == small.bytes_sent
+
+    def test_dbvv_cost_linear_in_m(self):
+        one = run_session("dbvv", 1_000, 1)
+        many = run_session("dbvv", 1_000, 64)
+        # Linear with a small constant: cost(64) ≈ 64 * per-item slope.
+        slope = (many.work - one.work) / 63
+        assert slope < 20
+        mid = run_session("dbvv", 1_000, 32)
+        predicted = one.work + slope * 31
+        assert abs(mid.work - predicted) <= 0.2 * predicted + 5
+
+    def test_baseline_cost_grows_with_n(self):
+        for baseline in ("per-item-vv", "lotus"):
+            small = run_session(baseline, 200, 16)
+            large = run_session(baseline, 4_000, 16)
+            assert large.work >= 10 * small.work, baseline
+
+    def test_metadata_constant_per_shipped_item(self):
+        few = run_session("dbvv", 1_000, 8)
+        more = run_session("dbvv", 1_000, 16)
+        per_item = (more.metadata_bytes - few.metadata_bytes) / 8
+        even_more = run_session("dbvv", 1_000, 64)
+        predicted = few.metadata_bytes + per_item * (64 - 8)
+        assert abs(even_more.metadata_bytes - predicted) < 0.05 * predicted + 8
+
+    def test_everyone_ships_exactly_m_items(self):
+        for protocol in ("dbvv", "per-item-vv", "lotus", "wuu-bernstein"):
+            row = run_session(protocol, 500, 12)
+            assert row.items_transferred == 12, protocol

@@ -1,0 +1,76 @@
+"""Shape assertions for experiments E3 (log bound) and E4 (Lotus)."""
+
+from repro.experiments.ablations import AppendOnlyLog, build_item_set_with_set
+from repro.experiments.e3_log_bound import run as run_e3
+from repro.experiments.e4_lotus_comparison import (
+    run_conflict_scenario,
+    run_redundancy,
+)
+
+
+class TestE3LogBound:
+    def test_bounded_log_plateaus_at_hot_set_size(self):
+        rows = run_e3(update_counts=(100, 1_000, 10_000), hot_items=20)
+        assert all(row.bounded_size == 20 for row in rows)
+
+    def test_unbounded_log_grows_with_updates(self):
+        rows = run_e3(update_counts=(100, 1_000, 10_000), hot_items=20)
+        assert [row.unbounded_size for row in rows] == [100, 1_000, 10_000]
+
+    def test_tail_cost_tracks_log_size(self):
+        rows = run_e3(update_counts=(100, 10_000), hot_items=20)
+        assert all(row.bounded_tail_records == 20 for row in rows)
+        assert rows[1].unbounded_tail_records == 10_000
+
+    def test_evictions_account_for_the_difference(self):
+        (row,) = run_e3(update_counts=(1_000,), hot_items=20)
+        assert row.bounded_evictions == 1_000 - 20
+
+
+class TestAblations:
+    def test_append_only_log_rejects_out_of_order(self):
+        import pytest
+
+        log = AppendOnlyLog(origin=0)
+        log.add("x", 5)
+        with pytest.raises(ValueError):
+            log.add("y", 5)
+
+    def test_set_dedup_matches_flag_dedup_semantics(self):
+        log = AppendOnlyLog(origin=0)
+        for seqno, item in enumerate(["a", "b", "a", "c", "b"], start=1):
+            log.add(item, seqno)
+        tail = log.tail_after(0)
+        assert build_item_set_with_set(tail) == ["a", "b", "c"]
+
+
+class TestE4Lotus:
+    def test_redundancy_rows_cover_both_protocols(self):
+        rows = run_redundancy(sizes=(100, 500), updates=5)
+        protocols = {row.protocol for row in rows}
+        assert protocols == {"dbvv", "lotus"}
+
+    def test_dbvv_detects_identical_lotus_does_not(self):
+        rows = run_redundancy(sizes=(200,), updates=5)
+        by_name = {row.protocol: row for row in rows}
+        assert by_name["dbvv"].detected_identical
+        assert not by_name["lotus"].detected_identical
+        assert by_name["lotus"].work > 20 * by_name["dbvv"].work
+
+    def test_conflict_scenario_matches_paper(self):
+        """Section 8.1's example, end to end."""
+        lotus = run_conflict_scenario("lotus")
+        dbvv = run_conflict_scenario("dbvv")
+        # Lotus: silent lost update.
+        assert not lotus.j_update_survived
+        assert not lotus.conflict_reported
+        assert lotus.value_at_j == b"i-second"
+        # DBVV: update preserved, conflict reported.
+        assert dbvv.j_update_survived
+        assert dbvv.conflict_reported
+
+    def test_unknown_protocol_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_conflict_scenario("oracle-push")

@@ -1,0 +1,56 @@
+"""Shape assertions for experiment E9 (read staleness vs schedule)."""
+
+import pytest
+
+from repro.experiments.e9_read_staleness import run_arm
+
+
+@pytest.fixture(scope="module")
+def arms():
+    rows = {}
+    for period in (2.0, 20.0):
+        for oob in (False, True):
+            rows[(period, oob)] = run_arm(period, oob_hot_reads=oob, seed=23)
+    return rows
+
+
+class TestScheduleTradeoff:
+    def test_lazier_schedule_means_more_stale_reads(self, arms):
+        """The paper's section 8 trade-off, quantified."""
+        fast = arms[(2.0, False)]
+        lazy = arms[(20.0, False)]
+        assert lazy.stale_fraction > 2 * fast.stale_fraction
+
+    def test_reads_actually_happened(self, arms):
+        for row in arms.values():
+            assert row.reads > 300
+            assert row.hot_reads > 10
+
+
+class TestOutOfBoundArm:
+    def test_oob_makes_hot_reads_fresh_at_any_period(self, arms):
+        for period in (2.0, 20.0):
+            row = arms[(period, True)]
+            assert row.stale_hot_fraction == 0.0, (
+                f"hot reads stale at period {period} despite OOB"
+            )
+            assert row.oob_fetches > 0
+
+    def test_oob_does_not_help_cold_reads(self, arms):
+        """Only the hot set is fetched; cold staleness still tracks the
+        schedule — OOB is a targeted tool, not a consistency upgrade."""
+        lazy_plain = arms[(20.0, False)]
+        lazy_oob = arms[(20.0, True)]
+        cold_stale_plain = lazy_plain.stale_reads - lazy_plain.stale_hot_reads
+        cold_stale_oob = lazy_oob.stale_reads - lazy_oob.stale_hot_reads
+        assert cold_stale_oob >= cold_stale_plain * 0.5
+
+    def test_no_oob_arm_triggers_no_fetches(self, arms):
+        assert arms[(2.0, False)].oob_fetches == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_numbers(self):
+        a = run_arm(5.0, oob_hot_reads=True, seed=31)
+        b = run_arm(5.0, oob_hot_reads=True, seed=31)
+        assert a == b

@@ -1,0 +1,81 @@
+"""Integration: session guarantees over a live, lagging cluster.
+
+A population of client sessions runs a read/write mix against replicas
+that synchronize only occasionally.  With FETCH-policy sessions, every
+client observes its own linear history (reads never violate the
+guarantees) even though the replicas are visibly stale to guarantee-
+free readers — and the cluster still converges cleanly afterwards.
+"""
+
+import random
+
+from repro.core.node import EpidemicNode
+from repro.experiments.common import make_items
+from repro.substrate.operations import Append
+from repro.substrate.sessions import ClientSession, SessionPolicy
+
+ITEMS = make_items(12)
+N_NODES = 3
+
+
+def test_many_sessions_roam_without_conflicts():
+    rng = random.Random(41)
+    nodes = [EpidemicNode(k, N_NODES, ITEMS) for k in range(N_NODES)]
+    # Each session owns one item (sessions are the writers here; the
+    # single-writer discipline is per session, enforced by guarantees).
+    sessions = {
+        item: ClientSession(policy=SessionPolicy.FETCH) for item in ITEMS[:6]
+    }
+    history = {item: b"" for item in sessions}
+
+    for step in range(200):
+        roll = rng.random()
+        if roll < 0.6:
+            item = ITEMS[rng.randrange(6)]
+            session = sessions[item]
+            server = nodes[rng.randrange(N_NODES)]
+            value = session.read(server, item)
+            assert value == history[item], (
+                f"step {step}: session for {item} observed a non-linear value"
+            )
+            op = Append(f"{step};".encode())
+            session.write(server, item, op)
+            history[item] = op.apply(history[item])
+        elif roll < 0.9:
+            dst = rng.randrange(N_NODES)
+            src = (dst + 1 + rng.randrange(N_NODES - 1)) % N_NODES
+            nodes[dst].pull_from(nodes[src])
+        else:
+            # A guarantee-free reader may see stale values — that's the
+            # baseline the sessions improve on; just must be a prefix.
+            item = ITEMS[rng.randrange(6)]
+            value = nodes[rng.randrange(N_NODES)].read(item)
+            assert history[item].startswith(value)
+
+    # Quiesce and converge.
+    for _round in range(N_NODES + 2):
+        for dst in range(N_NODES):
+            for src in range(N_NODES):
+                if dst != src:
+                    nodes[dst].pull_from(nodes[src])
+    for node in nodes:
+        node.check_invariants()
+        assert node.conflicts.count == 0
+        for item, expected in history.items():
+            assert node.read(item) == expected
+
+
+def test_sessions_survive_server_hopping_under_partition_like_lag():
+    """One session hops servers while no anti-entropy runs at all; the
+    FETCH policy alone keeps the history linear."""
+    nodes = [EpidemicNode(k, N_NODES, ITEMS) for k in range(N_NODES)]
+    session = ClientSession(policy=SessionPolicy.FETCH)
+    item = ITEMS[0]
+    expected = b""
+    for hop in range(9):
+        server = nodes[hop % N_NODES]
+        assert session.read(server, item) == expected
+        op = Append(f"{hop};".encode())
+        session.write(server, item, op)
+        expected = op.apply(expected)
+    assert session.read(nodes[0], item) == expected

@@ -1,0 +1,84 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.metrics.ascii_chart import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart({"a": 10, "b": 5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_align(self):
+        chart = bar_chart({"short": 1, "much-longer-label": 1}, width=5)
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_printed(self):
+        assert "12345" in bar_chart({"x": 12345}, width=5)
+
+    def test_nonzero_values_always_visible(self):
+        chart = bar_chart({"tiny": 1, "huge": 10_000}, width=20)
+        assert chart.splitlines()[0].count("█") == 1
+
+    def test_zero_peak_renders_empty_bars(self):
+        chart = bar_chart({"a": 0, "b": 0}, width=10)
+        assert "█" not in chart
+
+    def test_title_and_ordering(self):
+        chart = bar_chart([("z", 1), ("a", 2)], width=5, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("z")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1}, width=0)
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart({"s": [0, 5, 10]}, height=5, width=20)
+        lines = chart.splitlines()
+        plot_lines = [line for line in lines if line.startswith("|")]
+        assert len(plot_lines) == 5
+        assert all(len(line) == 21 for line in plot_lines)
+
+    def test_monotone_series_descends_the_grid(self):
+        chart = line_chart({"s": [0, 10]}, height=4, width=10)
+        lines = [line for line in chart.splitlines() if line.startswith("|")]
+        assert "●" in lines[0]       # peak at the top row
+        assert "●" in lines[-1]      # zero at the bottom row
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = line_chart({"a": [1, 2], "b": [2, 1]}, height=4, width=8)
+        assert "●" in chart and "○" in chart
+        assert "● a" in chart and "○ b" in chart
+
+    def test_peak_in_header(self):
+        chart = line_chart({"s": [1, 42]}, height=3, width=6, y_label="stale")
+        assert "stale (peak 42)" in chart
+
+    def test_all_zero_series(self):
+        chart = line_chart({"s": [0, 0, 0]}, height=3, width=6)
+        lines = [line for line in chart.splitlines() if line.startswith("|")]
+        assert "●" in lines[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, -2]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, height=1)

@@ -1,0 +1,55 @@
+"""Property-based tests: chart renderers never garble their frame."""
+
+from hypothesis import given, strategies as st
+
+from repro.metrics.ascii_chart import bar_chart, line_chart
+
+values = st.floats(min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False)
+labels = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(st.dictionaries(labels, values, min_size=1, max_size=8),
+       st.integers(min_value=1, max_value=80))
+def test_bar_chart_always_renders_consistent_frame(data, width):
+    chart = bar_chart(data, width=width)
+    lines = chart.splitlines()
+    assert len(lines) == len(data)
+    pipes = {line.index("|") for line in lines}
+    assert len(pipes) == 1  # bars start at one column
+    for line in lines:
+        bar = line.split("|", 1)[1].split(" ")[0]
+        assert len(bar) <= width + 1
+
+
+@given(
+    st.lists(
+        st.lists(values, min_size=2, max_size=30),
+        min_size=1,
+        max_size=4,
+    ).map(lambda rows: {f"s{i}": row for i, row in enumerate(rows)}),
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=2, max_value=70),
+)
+def test_line_chart_dimensions_hold_for_any_series(series, height, width):
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        series = {name: list(vals)[: min(lengths)] for name, vals in series.items()}
+    if min(len(v) for v in series.values()) < 2:
+        return
+    chart = line_chart(series, height=height, width=width)
+    plot_lines = [line for line in chart.splitlines() if line.startswith("|")]
+    assert len(plot_lines) == height
+    assert all(len(line) == width + 1 for line in plot_lines)
+    body = "\n".join(plot_lines)
+    # Later series draw over earlier ones at shared grid cells, so only
+    # the last-drawn series' marker is guaranteed visible...
+    last_marker = "●○■□▲△◆◇"[len(series) - 1]
+    assert last_marker in body
+    # ...but the legend always names every series.
+    legend = chart.splitlines()[-1]
+    for name in series:
+        assert name in legend

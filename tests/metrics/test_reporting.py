@@ -1,0 +1,68 @@
+"""Unit tests for report tables and formatting helpers."""
+
+import pytest
+
+from repro.metrics.reporting import Table, format_bytes, format_ratio
+
+
+class TestFormatters:
+    def test_ratio(self):
+        assert format_ratio(30, 10) == "3.0x"
+        assert format_ratio(1, 3) == "0.3x"
+
+    def test_ratio_zero_denominator(self):
+        assert format_ratio(5, 0) == "inf"
+        assert format_ratio(0, 0) == "1.0x"
+
+    def test_bytes_units(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MiB"
+        assert format_bytes(5 * 1024**3) == "5.0GiB"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("Demo", ["name", "count"])
+        table.add_row(["a", 1])
+        table.add_row(["long-name", 12345])
+        output = table.render()
+        lines = output.splitlines()
+        assert lines[0] == "Demo"
+        header_line = lines[2]
+        assert "name" in header_line and "count" in header_line
+        # All data lines same width.
+        widths = {len(line) for line in lines[2:-1]}
+        assert len(widths) == 1
+
+    def test_floats_rendered_compactly(self):
+        table = Table("t", ["v"])
+        table.add_row([3.14159])
+        assert "3.14" in table.render()
+
+    def test_row_width_mismatch_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_print_goes_to_stdout(self, capsys):
+        table = Table("t", ["a"])
+        table.add_row([1])
+        table.print()
+        captured = capsys.readouterr()
+        assert "t\n" in captured.out
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        table = Table("t", ["a", "b"])
+        table.add_row([1, "x"])
+        assert table.to_csv() == "a,b\n1,x\n"
+
+    def test_quoting(self):
+        table = Table("t", ["name", "note"])
+        table.add_row(['he said "hi"', "a,b"])
+        assert table.to_csv() == 'name,note\n"he said ""hi""","a,b"\n'
+
+    def test_empty_table(self):
+        assert Table("t", ["only"]).to_csv() == "only\n"

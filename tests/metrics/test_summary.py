@@ -1,0 +1,55 @@
+"""Tests for the one-call simulation report."""
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.experiments.common import make_factory, make_items
+from repro.metrics.summary import summarize_simulation
+from repro.substrate.operations import Put
+
+ITEMS = make_items(15)
+
+
+def run_small_sim():
+    sim = ClusterSimulation(make_factory("dbvv", 3, ITEMS), 3, ITEMS, seed=2)
+    sim.apply_update(0, ITEMS[0], Put(b"v"))
+    sim.run_until_converged(max_rounds=40)
+    return sim
+
+
+class TestSummary:
+    def test_report_contains_every_section(self):
+        report = summarize_simulation(run_small_sim(), title="demo run")
+        assert report.startswith("demo run")
+        assert "protocol" in report
+        assert "dbvv" in report
+        assert "Theorem 5 coverage" in report
+        assert "Rounds" in report
+        assert "traffic" in report
+
+    def test_staleness_chart_appears_for_multi_round_runs(self):
+        sim = run_small_sim()
+        if sim.round_no >= 2:
+            assert "Staleness per round" in summarize_simulation(sim)
+
+    def test_unconverged_run_reported_honestly(self):
+        sim = ClusterSimulation(make_factory("dbvv", 3, ITEMS), 3, ITEMS, seed=3)
+        sim.apply_update(0, ITEMS[0], Put(b"a"))
+        sim.apply_update(1, ITEMS[0], Put(b"b"))  # conflict: never converges
+        for _ in range(6):
+            sim.run_round()
+        report = summarize_simulation(sim)
+        data_row = report.splitlines()[7]  # the Run table's data row
+        assert "no" in data_row.split()
+        assert "conflicts" in report
+
+    def test_fresh_simulation_report(self):
+        sim = ClusterSimulation(make_factory("dbvv", 3, ITEMS), 3, ITEMS, seed=4)
+        report = summarize_simulation(sim)
+        assert "uncovered" in report  # no sessions yet
+        assert "Rounds" not in report  # no history table
+
+    def test_coverage_completion_reported_with_round(self):
+        sim = run_small_sim()
+        while not sim.coverage.is_fully_covered():
+            sim.run_round()
+        report = summarize_simulation(sim)
+        assert "COMPLETE" in report

@@ -1,0 +1,72 @@
+"""Unit tests for database schemas and the catalog."""
+
+import pytest
+
+from repro.substrate.database import DatabaseCatalog, DatabaseSchema, ReplicaId
+
+
+class TestSchema:
+    def test_basic_schema(self):
+        schema = DatabaseSchema("db", ("x", "y"), 3)
+        assert schema.n_items == 2
+        assert schema.n_nodes == 3
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseSchema("db", ("x", "x"), 2)
+
+    def test_empty_replica_set_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseSchema("db", ("x",), 0)
+
+    def test_generated_items_are_zero_padded_and_unique(self):
+        schema = DatabaseSchema.with_generated_items("db", 100, 2)
+        assert schema.n_items == 100
+        assert schema.items[0] == "item-00000"
+        assert len(set(schema.items)) == 100
+        assert sorted(schema.items) == list(schema.items)
+
+    def test_replica_identity(self):
+        schema = DatabaseSchema("db", ("x",), 2)
+        replica = schema.replica(1)
+        assert replica == ReplicaId("db", 1)
+        assert str(replica) == "db@1"
+
+    def test_replica_outside_set_rejected(self):
+        schema = DatabaseSchema("db", ("x",), 2)
+        with pytest.raises(ValueError):
+            schema.replica(2)
+
+    def test_schema_is_immutable(self):
+        schema = DatabaseSchema("db", ("x",), 2)
+        with pytest.raises(AttributeError):
+            schema.name = "other"  # type: ignore[misc]
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        catalog = DatabaseCatalog()
+        schema = DatabaseSchema("db", ("x",), 2)
+        catalog.add(schema)
+        assert catalog.get("db") is schema
+        assert "db" in catalog
+        assert catalog.names() == ["db"]
+
+    def test_duplicate_database_rejected(self):
+        catalog = DatabaseCatalog()
+        catalog.add(DatabaseSchema("db", ("x",), 2))
+        with pytest.raises(ValueError):
+            catalog.add(DatabaseSchema("db", ("y",), 2))
+
+    def test_unknown_database_raises(self):
+        with pytest.raises(KeyError):
+            DatabaseCatalog().get("nope")
+
+    def test_multiple_databases_are_independent(self):
+        """Multiple databases mean independent protocol instances
+        (paper section 2)."""
+        catalog = DatabaseCatalog()
+        catalog.add(DatabaseSchema("a", ("x",), 2))
+        catalog.add(DatabaseSchema("b", ("x",), 3))
+        assert catalog.get("a").n_nodes == 2
+        assert catalog.get("b").n_nodes == 3

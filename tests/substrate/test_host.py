@@ -1,0 +1,97 @@
+"""Tests for multi-database hosting (paper section 2)."""
+
+import pytest
+
+from repro.core.protocol import DBVVProtocolNode
+from repro.errors import NodeDownError
+from repro.substrate.database import DatabaseSchema
+from repro.substrate.host import Host
+from repro.substrate.operations import Put
+
+CRM = DatabaseSchema("crm", ("customer-1", "customer-2"), 2)
+WIKI = DatabaseSchema("wiki", ("page-1", "page-2", "page-3"), 2)
+
+
+def dbvv_factory(schema):
+    return lambda node_id: DBVVProtocolNode(node_id, schema.n_nodes, schema.items)
+
+
+def make_hosts():
+    hosts = [Host(0), Host(1)]
+    for host in hosts:
+        host.add_database(CRM, dbvv_factory(CRM))
+        host.add_database(WIKI, dbvv_factory(WIKI))
+    return hosts
+
+
+class TestHosting:
+    def test_databases_listed(self):
+        host, _ = make_hosts()
+        assert host.databases() == ["crm", "wiki"]
+
+    def test_replica_lookup(self):
+        host, _ = make_hosts()
+        assert host.replica("crm").schema is CRM
+        with pytest.raises(KeyError):
+            host.replica("nope")
+
+    def test_host_outside_replica_set_rejected(self):
+        outsider = Host(7)
+        with pytest.raises(ValueError):
+            outsider.add_database(CRM, dbvv_factory(CRM))
+
+    def test_duplicate_database_rejected(self):
+        host, _ = make_hosts()
+        with pytest.raises(ValueError):
+            host.add_database(CRM, dbvv_factory(CRM))
+
+
+class TestIndependentProtocolInstances:
+    def test_sync_all_moves_each_database_separately(self):
+        a, b = make_hosts()
+        a.replica("crm").update("customer-1", Put(b"alice"))
+        a.replica("wiki").update("page-2", Put(b"hello"))
+        results = b.sync_all_from(a)
+        assert set(results) == {"crm", "wiki"}
+        assert results["crm"].items_transferred == 1
+        assert results["wiki"].items_transferred == 1
+        assert b.replica("crm").read("customer-1") == b"alice"
+        assert b.replica("wiki").read("page-2") == b"hello"
+
+    def test_unshared_databases_are_skipped(self):
+        a, b = make_hosts()
+        private = DatabaseSchema("private", ("x",), 1)
+        a.add_database(private, dbvv_factory(private))
+        results = b.sync_all_from(a)
+        assert "private" not in results
+
+    def test_one_database_conflict_does_not_affect_the_other(self):
+        a, b = make_hosts()
+        a.replica("crm").update("customer-1", Put(b"from-a"))
+        b.replica("crm").update("customer-1", Put(b"from-b"))
+        a.replica("wiki").update("page-1", Put(b"clean"))
+        results = b.sync_all_from(a)
+        assert results["crm"].conflicts == 1
+        assert results["wiki"].conflicts == 0
+        assert b.replica("wiki").read("page-1") == b"clean"
+
+
+class TestMachineFailures:
+    def test_crash_takes_all_replicas_down(self):
+        a, b = make_hosts()
+        a.crash()
+        assert not a.is_up
+        with pytest.raises(NodeDownError):
+            a.replica("crm")
+        with pytest.raises(NodeDownError):
+            b.sync_all_from(a)
+
+    def test_recovery_restores_all_replicas(self):
+        a, b = make_hosts()
+        a.replica("crm").update("customer-1", Put(b"v"))
+        a.crash()
+        a.recover()
+        assert a.replica("crm").read("customer-1") == b"v"
+        assert a.replica("crm").verify_durability()
+        b.sync_all_from(a)
+        assert b.replica("crm").read("customer-1") == b"v"

@@ -1,0 +1,98 @@
+"""Unit tests for re-doable update operations."""
+
+import pytest
+
+from repro.errors import OperationError
+from repro.substrate.operations import Append, BytePatch, CounterAdd, Put, Truncate
+
+
+class TestPut:
+    def test_replaces_whole_value(self):
+        assert Put(b"new").apply(b"old-value") == b"new"
+
+    def test_size_is_value_length(self):
+        assert Put(b"abcd").size() == 4
+
+
+class TestAppend:
+    def test_appends(self):
+        assert Append(b"def").apply(b"abc") == b"abcdef"
+
+    def test_append_to_empty(self):
+        assert Append(b"x").apply(b"") == b"x"
+
+
+class TestBytePatch:
+    def test_overwrites_range(self):
+        assert BytePatch(1, b"XY").apply(b"abcd") == b"aXYd"
+
+    def test_patch_at_end_extends(self):
+        assert BytePatch(3, b"XY").apply(b"abc") == b"abcXY"
+
+    def test_patch_overlapping_end_extends(self):
+        assert BytePatch(2, b"XYZ").apply(b"abc") == b"abXYZ"
+
+    def test_patch_beyond_end_rejected(self):
+        with pytest.raises(OperationError):
+            BytePatch(5, b"X").apply(b"abc")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(OperationError):
+            BytePatch(-1, b"X").apply(b"abc")
+
+    def test_size_includes_offset_word(self):
+        assert BytePatch(0, b"abc").size() == 8 + 3
+
+
+class TestTruncate:
+    def test_truncates(self):
+        assert Truncate(2).apply(b"abcd") == b"ab"
+
+    def test_truncate_to_zero(self):
+        assert Truncate(0).apply(b"abcd") == b""
+
+    def test_truncate_beyond_end_rejected(self):
+        with pytest.raises(OperationError):
+            Truncate(5).apply(b"abc")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(OperationError):
+            Truncate(-1).apply(b"abc")
+
+
+class TestCounterAdd:
+    def test_empty_value_counts_as_zero(self):
+        assert CounterAdd.read(CounterAdd(7).apply(b"")) == 7
+
+    def test_accumulates(self):
+        value = CounterAdd(5).apply(b"")
+        value = CounterAdd(-2).apply(value)
+        assert CounterAdd.read(value) == 3
+
+    def test_negative_totals_roundtrip(self):
+        value = CounterAdd(-10).apply(b"")
+        assert CounterAdd.read(value) == -10
+
+    def test_malformed_value_rejected(self):
+        with pytest.raises(OperationError):
+            CounterAdd(1).apply(b"not8bytes")
+
+    def test_read_empty(self):
+        assert CounterAdd.read(b"") == 0
+
+
+class TestDeterminism:
+    def test_same_ops_same_result(self):
+        """Two replicas applying the same op sequence agree — the
+        foundation of replay-based convergence."""
+        ops = [Put(b"base"), Append(b"-x"), BytePatch(0, b"B"), Truncate(5)]
+        a = b = b""
+        for op in ops:
+            a = op.apply(a)
+        for op in ops:
+            b = op.apply(b)
+        assert a == b == b"Base-"
+
+    def test_operations_are_hashable_values(self):
+        assert Put(b"v") == Put(b"v")
+        assert len({Append(b"a"), Append(b"a"), Append(b"b")}) == 2

@@ -1,0 +1,134 @@
+"""Unit tests for the user-facing server layer."""
+
+import pytest
+
+from repro.core.protocol import DBVVProtocolNode
+from repro.errors import NodeDownError, TokenHeldError, UnknownItemError
+from repro.substrate.database import DatabaseSchema
+from repro.substrate.operations import Append, Put
+from repro.substrate.server import ReplicaServer, build_cluster
+from repro.substrate.tokens import TokenManager
+
+SCHEMA = DatabaseSchema("db", ("x", "y"), 2)
+
+
+def make_servers(tokens=None):
+    return build_cluster(
+        SCHEMA,
+        lambda node_id: DBVVProtocolNode(node_id, SCHEMA.n_nodes, SCHEMA.items),
+        tokens=tokens,
+    )
+
+
+class TestUserAPI:
+    def test_update_then_read(self):
+        server, _ = make_servers()
+        server.update("x", Put(b"v"))
+        assert server.read("x") == b"v"
+        assert server.updates_applied == 1
+
+    def test_read_unknown_item(self):
+        server, _ = make_servers()
+        with pytest.raises(UnknownItemError):
+            server.read("nope")
+
+    def test_updates_are_journaled(self):
+        server, _ = make_servers()
+        server.update("x", Put(b"v1"))
+        server.update("x", Append(b"2"))
+        assert [r.value for r in server.storage.journal()] == [b"v1", b"v12"]
+        assert server.verify_durability()
+
+
+class TestReplication:
+    def test_sync_from_moves_updates_and_writes_back(self):
+        a, b = make_servers()
+        a.update("x", Put(b"v"))
+        stats = b.sync_from(a)
+        assert stats.items_transferred == 1
+        assert b.read("x") == b"v"
+        # Adopted values reach durable storage too.
+        assert b.storage.read("x") == b"v"
+        assert b.verify_durability()
+
+    def test_sync_counts_sessions(self):
+        a, b = make_servers()
+        b.sync_from(a)
+        assert b.syncs_performed == 1
+
+    def test_state_fingerprints_converge(self):
+        a, b = make_servers()
+        a.update("x", Put(b"1"))
+        b.update("y", Put(b"2"))
+        a.sync_from(b)
+        b.sync_from(a)
+        assert a.state_fingerprint() == b.state_fingerprint()
+
+
+class TestAvailability:
+    def test_operations_on_crashed_server_raise(self):
+        server, _ = make_servers()
+        server.crash()
+        assert not server.is_up
+        with pytest.raises(NodeDownError):
+            server.read("x")
+        with pytest.raises(NodeDownError):
+            server.update("x", Put(b"v"))
+
+    def test_sync_with_crashed_peer_raises(self):
+        a, b = make_servers()
+        a.crash()
+        with pytest.raises(NodeDownError):
+            b.sync_from(a)
+
+    def test_recovery_restores_service_and_state(self):
+        server, _ = make_servers()
+        server.update("x", Put(b"v"))
+        server.crash()
+        server.recover()
+        assert server.read("x") == b"v"
+        assert server.verify_durability()
+
+
+class TestPessimisticMode:
+    def test_update_without_token_rejected(self):
+        tokens = TokenManager(items=SCHEMA.items)
+        a, _b = make_servers(tokens)
+        with pytest.raises(TokenHeldError):
+            a.update("x", Put(b"v"))
+
+    def test_update_with_token_succeeds(self):
+        tokens = TokenManager(items=SCHEMA.items)
+        a, b = make_servers(tokens)
+        a.acquire_token("x")
+        a.update("x", Put(b"v"))
+        with pytest.raises(TokenHeldError):
+            b.update("x", Put(b"other"))
+        a.release_token("x")
+        b.acquire_token("x")
+        b.sync_from(a)
+        b.update("x", Append(b"2"))
+        assert b.read("x") == b"v2"
+
+    def test_token_serialized_updates_never_conflict(self):
+        """With tokens in force and propagation before each ownership
+        change, histories are linear — zero conflicts (paper section 2's
+        strict-consistency option)."""
+        tokens = TokenManager(items=SCHEMA.items)
+        a, b = make_servers(tokens)
+        for round_no in range(6):
+            writer, other = (a, b) if round_no % 2 == 0 else (b, a)
+            writer.acquire_token("x")
+            writer.update("x", Append(f"{round_no};".encode()))
+            other.sync_from(writer)
+            writer.release_token("x")
+        assert a.protocol.conflict_count() == 0
+        assert b.protocol.conflict_count() == 0
+        assert b.read("x") == a.read("x")
+
+    def test_token_api_unavailable_in_optimistic_mode(self):
+        a, _b = make_servers()
+        with pytest.raises(RuntimeError):
+            a.acquire_token("x")
+        with pytest.raises(RuntimeError):
+            a.release_token("x")

@@ -1,0 +1,168 @@
+"""Tests for client session guarantees (paper section 8.3 review)."""
+
+import pytest
+
+from repro.core.node import EpidemicNode
+from repro.substrate.operations import Append, Put
+from repro.substrate.sessions import (
+    ClientSession,
+    Guarantee,
+    GuaranteeViolation,
+    SessionPolicy,
+)
+
+ITEMS = ["x", "y"]
+
+
+def make_servers(n=3):
+    return [EpidemicNode(k, n, ITEMS) for k in range(n)]
+
+
+class TestReadYourWrites:
+    def test_violation_detected_on_stale_server(self):
+        a, b, _ = make_servers()
+        session = ClientSession(guarantees=Guarantee.READ_YOUR_WRITES)
+        session.write(a, "x", Put(b"mine"))
+        with pytest.raises(GuaranteeViolation):
+            session.read(b, "x")
+
+    def test_satisfied_after_propagation(self):
+        a, b, _ = make_servers()
+        session = ClientSession(guarantees=Guarantee.READ_YOUR_WRITES)
+        session.write(a, "x", Put(b"mine"))
+        b.pull_from(a)
+        assert session.read(b, "x") == b"mine"
+
+    def test_fetch_policy_repairs_via_out_of_bound(self):
+        a, b, _ = make_servers()
+        session = ClientSession(
+            guarantees=Guarantee.READ_YOUR_WRITES, policy=SessionPolicy.FETCH
+        )
+        session.write(a, "x", Put(b"mine"))
+        assert session.read(b, "x") == b"mine"
+        assert session.fetches_triggered == 1
+        assert b.store["x"].has_auxiliary  # out-of-bound copy installed
+
+    def test_same_server_never_violates(self):
+        a, *_ = make_servers()
+        session = ClientSession(guarantees=Guarantee.READ_YOUR_WRITES)
+        session.write(a, "x", Put(b"v1"))
+        session.write(a, "x", Append(b"2"))
+        assert session.read(a, "x") == b"v12"
+
+
+class TestMonotonicReads:
+    def test_read_cannot_go_back_in_time(self):
+        a, b, _ = make_servers()
+        session = ClientSession(guarantees=Guarantee.MONOTONIC_READS)
+        a.update("x", Put(b"new"))
+        session.read(a, "x")
+        # b is behind; reading there would travel backwards.
+        with pytest.raises(GuaranteeViolation):
+            session.read(b, "x")
+
+    def test_equal_state_is_fine(self):
+        a, b, _ = make_servers()
+        session = ClientSession(guarantees=Guarantee.MONOTONIC_READS)
+        a.update("x", Put(b"new"))
+        b.pull_from(a)
+        session.read(a, "x")
+        assert session.read(b, "x") == b"new"
+
+    def test_guarantees_are_per_item(self):
+        a, b, _ = make_servers()
+        session = ClientSession(guarantees=Guarantee.MONOTONIC_READS)
+        a.update("x", Put(b"new"))
+        session.read(a, "x")
+        # y was never read; b can serve it despite being behind on x.
+        assert session.read(b, "y") == b""
+
+
+class TestMonotonicWrites:
+    def test_write_on_stale_server_rejected(self):
+        """Without the guarantee, the session's own two writes would be
+        concurrent — a self-inflicted conflict."""
+        a, b, _ = make_servers()
+        session = ClientSession(guarantees=Guarantee.MONOTONIC_WRITES)
+        session.write(a, "x", Put(b"first"))
+        with pytest.raises(GuaranteeViolation):
+            session.write(b, "x", Put(b"second"))
+
+    def test_fetch_policy_makes_hopping_writes_safe(self):
+        """The FETCH repair showcases out-of-bound copying: the write
+        lands on b's fetched auxiliary copy, on top of the session's
+        first write — no conflict anywhere, and everything converges."""
+        a, b, c = make_servers()
+        session = ClientSession(
+            guarantees=Guarantee.MONOTONIC_WRITES, policy=SessionPolicy.FETCH
+        )
+        session.write(a, "x", Put(b"first;"))
+        session.write(b, "x", Append(b"second;"))
+        assert b.read("x") == b"first;second;"
+        # Converge the cluster; both writes survive in order.
+        for _round in range(4):
+            for dst in (a, b, c):
+                for src in (a, b, c):
+                    if dst is not src:
+                        dst.pull_from(src)
+        assert a.read("x") == b"first;second;"
+        assert a.conflicts.count == 0
+        assert b.conflicts.count == 0
+        for node in (a, b, c):
+            node.check_invariants()
+
+    def test_without_guarantee_hopping_writes_conflict(self):
+        """The control: no session guarantees, same write pattern ⇒ the
+        protocol correctly reports a conflict.  (This is what session
+        guarantees exist to prevent.)"""
+        a, b, _ = make_servers()
+        a.update("x", Put(b"first;"))
+        b.update("x", Put(b"second;"))
+        outcome, _ = a.pull_from(b)
+        assert outcome.conflicted == ["x"]
+
+
+class TestWritesFollowReads:
+    def test_write_after_read_requires_read_state(self):
+        a, b, _ = make_servers()
+        session = ClientSession(guarantees=Guarantee.WRITES_FOLLOW_READS)
+        a.update("x", Put(b"context"))
+        session.read(a, "x")
+        with pytest.raises(GuaranteeViolation):
+            session.write(b, "x", Append(b"reply"))
+
+    def test_write_lands_after_propagation(self):
+        a, b, _ = make_servers()
+        session = ClientSession(guarantees=Guarantee.WRITES_FOLLOW_READS)
+        a.update("x", Put(b"context;"))
+        session.read(a, "x")
+        b.pull_from(a)
+        session.write(b, "x", Append(b"reply;"))
+        assert b.read("x") == b"context;reply;"
+
+
+class TestCombinedGuarantees:
+    def test_all_guarantees_roam_with_fetch(self):
+        """A mobile client hops across all three servers doing
+        read-modify-write cycles; with all guarantees + FETCH its
+        history is linear and conflict-free."""
+        servers = make_servers()
+        session = ClientSession(policy=SessionPolicy.FETCH)
+        for hop in range(6):
+            server = servers[hop % 3]
+            current = session.read(server, "x")
+            session.write(server, "x", Put(current + f"{hop};".encode()))
+        final = session.read(servers[0], "x")
+        assert final == b"0;1;2;3;4;5;"
+        assert all(server.conflicts.count == 0 for server in servers)
+
+    def test_flag_algebra(self):
+        combo = Guarantee.READ_YOUR_WRITES | Guarantee.MONOTONIC_READS
+        assert Guarantee.READ_YOUR_WRITES in combo
+        assert Guarantee.MONOTONIC_WRITES not in combo
+        assert Guarantee.all() == (
+            Guarantee.READ_YOUR_WRITES
+            | Guarantee.MONOTONIC_READS
+            | Guarantee.MONOTONIC_WRITES
+            | Guarantee.WRITES_FOLLOW_READS
+        )

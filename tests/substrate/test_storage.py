@@ -1,0 +1,107 @@
+"""Unit tests for the journaled storage engine."""
+
+import pytest
+
+from repro.errors import UnknownItemError
+from repro.substrate.storage import Storage
+
+
+class TestBasicOperations:
+    def test_create_read_write(self):
+        store = Storage()
+        store.create("x")
+        assert store.read("x") == b""
+        store.write("x", b"v1")
+        assert store.read("x") == b"v1"
+
+    def test_create_with_initial_value(self):
+        store = Storage()
+        store.create("x", b"seed")
+        assert store.read("x") == b"seed"
+
+    def test_duplicate_create_rejected(self):
+        store = Storage()
+        store.create("x")
+        with pytest.raises(ValueError):
+            store.create("x")
+
+    def test_unknown_key_raises(self):
+        store = Storage()
+        with pytest.raises(UnknownItemError):
+            store.read("x")
+        with pytest.raises(UnknownItemError):
+            store.write("x", b"v")
+        with pytest.raises(UnknownItemError):
+            store.write_count("x")
+
+    def test_contains_and_len(self):
+        store = Storage()
+        store.create("x")
+        store.create("y")
+        assert "x" in store
+        assert "nope" not in store
+        assert len(store) == 2
+        assert sorted(store.keys()) == ["x", "y"]
+
+
+class TestWriteCounts:
+    def test_write_count_increments(self):
+        store = Storage()
+        store.create("x")
+        assert store.write_count("x") == 0
+        assert store.write("x", b"a") == 1
+        assert store.write("x", b"b") == 2
+
+    def test_counts_are_per_key(self):
+        store = Storage()
+        store.create("x")
+        store.create("y")
+        store.write("x", b"a")
+        assert store.write_count("y") == 0
+
+
+class TestJournal:
+    def test_journal_records_every_write_in_order(self):
+        store = Storage()
+        store.create("x")
+        store.create("y")
+        store.write("x", b"1")
+        store.write("y", b"2")
+        store.write("x", b"3")
+        journal = store.journal()
+        assert [(r.key, r.value) for r in journal] == [
+            ("x", b"1"), ("y", b"2"), ("x", b"3"),
+        ]
+        assert [r.seq for r in journal] == [1, 2, 3]
+        assert store.last_seq == 3
+
+    def test_journal_since_filters_by_seq(self):
+        store = Storage()
+        store.create("x")
+        store.write("x", b"1")
+        store.write("x", b"2")
+        assert [r.value for r in store.journal_since(1)] == [b"2"]
+
+    def test_recover_rebuilds_state_from_journal(self):
+        store = Storage()
+        for key in ("x", "y"):
+            store.create(key)
+        store.write("x", b"1")
+        store.write("y", b"2")
+        store.write("x", b"3")
+        rebuilt = Storage.recover(["x", "y"], store.journal())
+        assert rebuilt.read("x") == b"3"
+        assert rebuilt.read("y") == b"2"
+
+    def test_recover_sorts_out_of_order_journal(self):
+        store = Storage()
+        store.create("x")
+        store.write("x", b"1")
+        store.write("x", b"2")
+        shuffled = list(reversed(store.journal()))
+        rebuilt = Storage.recover(["x"], shuffled)
+        assert rebuilt.read("x") == b"2"
+
+    def test_recover_empty_journal(self):
+        rebuilt = Storage.recover(["x"], [])
+        assert rebuilt.read("x") == b""

@@ -1,0 +1,81 @@
+"""Unit tests for the token manager (pessimistic mode, paper section 2)."""
+
+import pytest
+
+from repro.errors import TokenHeldError, UnknownItemError
+from repro.substrate.tokens import TokenManager
+
+
+def make_manager():
+    return TokenManager(items=("x", "y"))
+
+
+class TestAcquireRelease:
+    def test_first_acquire_succeeds(self):
+        tokens = make_manager()
+        grant = tokens.acquire("x", 0)
+        assert grant.holder == 0
+        assert tokens.holder_of("x") == 0
+
+    def test_acquire_held_token_raises(self):
+        tokens = make_manager()
+        tokens.acquire("x", 0)
+        with pytest.raises(TokenHeldError):
+            tokens.acquire("x", 1)
+
+    def test_reacquire_by_holder_is_noop(self):
+        tokens = make_manager()
+        first = tokens.acquire("x", 0)
+        second = tokens.acquire("x", 0)
+        assert second.generation == first.generation
+
+    def test_release_frees_token(self):
+        tokens = make_manager()
+        tokens.acquire("x", 0)
+        tokens.release("x", 0)
+        assert tokens.holder_of("x") is None
+        tokens.acquire("x", 1)
+
+    def test_release_by_non_holder_raises(self):
+        tokens = make_manager()
+        tokens.acquire("x", 0)
+        with pytest.raises(TokenHeldError):
+            tokens.release("x", 1)
+
+    def test_tokens_are_per_item(self):
+        tokens = make_manager()
+        tokens.acquire("x", 0)
+        tokens.acquire("y", 1)
+        assert tokens.holder_of("x") == 0
+        assert tokens.holder_of("y") == 1
+
+    def test_unknown_item_raises(self):
+        with pytest.raises(UnknownItemError):
+            make_manager().acquire("nope", 0)
+
+
+class TestTransfer:
+    def test_transfer_moves_token(self):
+        tokens = make_manager()
+        tokens.acquire("x", 0)
+        grant = tokens.transfer("x", 0, 1)
+        assert grant.holder == 1
+        assert tokens.holder_of("x") == 1
+
+    def test_generation_increases_per_transfer(self):
+        tokens = make_manager()
+        g1 = tokens.acquire("x", 0)
+        g2 = tokens.transfer("x", 0, 1)
+        assert g2.generation > g1.generation
+        assert tokens.transfers == 2
+
+
+class TestUpdateGate:
+    def test_update_requires_holding(self):
+        tokens = make_manager()
+        with pytest.raises(TokenHeldError):
+            tokens.check_update_allowed("x", 0)
+        tokens.acquire("x", 0)
+        tokens.check_update_allowed("x", 0)
+        with pytest.raises(TokenHeldError):
+            tokens.check_update_allowed("x", 1)

@@ -1,0 +1,201 @@
+"""Tests for single-server strict-2PL transactions (paper section 2)."""
+
+import pytest
+
+from repro.core.protocol import DBVVProtocolNode
+from repro.substrate.database import DatabaseSchema
+from repro.substrate.operations import Append, Put
+from repro.substrate.server import ReplicaServer
+from repro.substrate.transactions import (
+    LockConflictError,
+    LockManager,
+    LockMode,
+    TransactionError,
+    TransactionManager,
+)
+
+SCHEMA = DatabaseSchema("db", ("x", "y", "z"), 2)
+
+
+def make_server(node_id=0):
+    return ReplicaServer(
+        SCHEMA, DBVVProtocolNode(node_id, SCHEMA.n_nodes, SCHEMA.items)
+    )
+
+
+class TestLockManager:
+    def test_shared_locks_coexist(self):
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.SHARED)
+        locks.acquire(2, "x", LockMode.SHARED)
+        assert locks.mode_held(1, "x") is LockMode.SHARED
+
+    def test_exclusive_excludes_everyone(self):
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, "x", LockMode.SHARED)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, "x", LockMode.EXCLUSIVE)
+
+    def test_shared_blocks_foreign_exclusive(self):
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.SHARED)
+        with pytest.raises(LockConflictError) as exc:
+            locks.acquire(2, "x", LockMode.EXCLUSIVE)
+        assert exc.value.holders == {1}
+
+    def test_sole_holder_upgrades(self):
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.SHARED)
+        locks.acquire(1, "x", LockMode.EXCLUSIVE)
+        assert locks.mode_held(1, "x") is LockMode.EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_readers(self):
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.SHARED)
+        locks.acquire(2, "x", LockMode.SHARED)
+        with pytest.raises(LockConflictError):
+            locks.acquire(1, "x", LockMode.EXCLUSIVE)
+
+    def test_release_all_frees_both_kinds(self):
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.EXCLUSIVE)
+        locks.acquire(1, "y", LockMode.SHARED)
+        locks.release_all(1)
+        locks.acquire(2, "x", LockMode.EXCLUSIVE)
+        locks.acquire(2, "y", LockMode.EXCLUSIVE)
+
+    def test_reacquisition_is_idempotent(self):
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.EXCLUSIVE)
+        locks.acquire(1, "x", LockMode.EXCLUSIVE)
+        locks.acquire(1, "x", LockMode.SHARED)  # X subsumes S
+        assert locks.mode_held(1, "x") is LockMode.EXCLUSIVE
+
+
+class TestTransaction:
+    def test_commit_applies_buffered_writes(self):
+        manager = TransactionManager(make_server())
+        txn = manager.begin()
+        txn.write("x", Put(b"v1"))
+        txn.write("x", Append(b"2"))
+        assert manager.server.read("x") == b""  # not yet visible
+        txn.commit()
+        assert manager.server.read("x") == b"v12"
+
+    def test_abort_discards_writes(self):
+        manager = TransactionManager(make_server())
+        txn = manager.begin()
+        txn.write("x", Put(b"never"))
+        txn.abort()
+        assert manager.server.read("x") == b""
+
+    def test_transaction_reads_its_own_writes(self):
+        manager = TransactionManager(make_server())
+        txn = manager.begin()
+        txn.write("x", Put(b"mine"))
+        assert txn.read("x") == b"mine"
+        txn.abort()
+
+    def test_writers_block_readers_until_commit(self):
+        manager = TransactionManager(make_server())
+        writer = manager.begin()
+        writer.write("x", Put(b"v"))
+        reader = manager.begin()
+        with pytest.raises(LockConflictError):
+            reader.read("x")
+        writer.commit()
+        assert reader.read("x") == b"v"
+
+    def test_readers_block_writers(self):
+        manager = TransactionManager(make_server())
+        reader = manager.begin()
+        reader.read("x")
+        writer = manager.begin()
+        with pytest.raises(LockConflictError):
+            writer.write("x", Put(b"v"))
+
+    def test_strict_2pl_holds_locks_to_commit(self):
+        manager = TransactionManager(make_server())
+        txn = manager.begin()
+        txn.write("x", Put(b"v"))
+        txn.read("y")
+        other = manager.begin()
+        with pytest.raises(LockConflictError):
+            other.write("y", Put(b"w"))
+        txn.commit()
+        other.write("y", Put(b"w"))
+        other.commit()
+
+    def test_finished_transactions_reject_use(self):
+        manager = TransactionManager(make_server())
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.read("x")
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_non_conflicting_transactions_interleave(self):
+        manager = TransactionManager(make_server())
+        t1, t2 = manager.begin(), manager.begin()
+        t1.write("x", Put(b"one"))
+        t2.write("y", Put(b"two"))
+        t2.commit()
+        t1.commit()
+        assert manager.server.read("x") == b"one"
+        assert manager.server.read("y") == b"two"
+
+
+class TestRunHelper:
+    def test_commit_on_return(self):
+        manager = TransactionManager(make_server())
+
+        def body(txn):
+            txn.write("x", Put(b"v"))
+            return "done"
+
+        assert manager.run(body) == "done"
+        assert manager.committed == 1
+        assert manager.server.read("x") == b"v"
+
+    def test_abort_on_exception(self):
+        manager = TransactionManager(make_server())
+
+        def body(txn):
+            txn.write("x", Put(b"v"))
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            manager.run(body)
+        assert manager.aborted == 1
+        assert manager.server.read("x") == b""
+
+
+class TestTransactionsMeetReplication:
+    def test_committed_writes_replicate_normally(self):
+        """The paper's split: 2PL locally, optimism across replicas —
+        a committed transaction's updates propagate like user updates."""
+        server_a = make_server(0)
+        server_b = make_server(1)
+        manager = TransactionManager(server_a)
+
+        def body(txn):
+            txn.write("x", Put(b"tx-value"))
+            txn.write("y", Put(b"tx-other"))
+
+        manager.run(body)
+        stats = server_b.sync_from(server_a)
+        assert stats.items_transferred == 2
+        assert server_b.read("x") == b"tx-value"
+
+    def test_aborted_transactions_leave_no_replication_trace(self):
+        server_a = make_server(0)
+        server_b = make_server(1)
+        manager = TransactionManager(server_a)
+        txn = manager.begin()
+        txn.write("x", Put(b"ghost"))
+        txn.abort()
+        stats = server_b.sync_from(server_a)
+        assert stats.identical

@@ -1,0 +1,69 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConflictError,
+    MessageLostError,
+    NodeDownError,
+    OperationError,
+    ReplicaSetMismatchError,
+    ReplicationError,
+    SimulationError,
+    TokenHeldError,
+    UnknownItemError,
+    UnknownNodeError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            UnknownItemError("x"),
+            UnknownNodeError(3),
+            ReplicaSetMismatchError("mismatch"),
+            ConflictError("x"),
+            TokenHeldError("x", 0, 1),
+            NodeDownError(2),
+            OperationError("bad"),
+            SimulationError("bad"),
+            MessageLostError(0, 1),
+        ],
+    )
+    def test_everything_derives_from_replication_error(self, exc):
+        assert isinstance(exc, ReplicationError)
+
+    def test_unknown_item_is_a_key_error(self):
+        """Callers using dict-style access can catch KeyError."""
+        assert isinstance(UnknownItemError("x"), KeyError)
+
+    def test_replica_set_mismatch_is_a_value_error(self):
+        assert isinstance(ReplicaSetMismatchError("m"), ValueError)
+
+    def test_operation_error_is_a_value_error(self):
+        assert isinstance(OperationError("m"), ValueError)
+
+
+class TestMessages:
+    def test_unknown_item_names_the_item(self):
+        assert "'doc-7'" in str(UnknownItemError("doc-7"))
+
+    def test_conflict_error_carries_item_and_detail(self):
+        err = ConflictError("x", "vectors (1,0) vs (0,1)")
+        assert err.item == "x"
+        assert "vectors" in str(err)
+
+    def test_conflict_error_without_detail(self):
+        assert "inconsistent" in str(ConflictError("x"))
+
+    def test_token_held_error_identifies_parties(self):
+        err = TokenHeldError("x", holder=2, requester=5)
+        assert err.holder == 2
+        assert err.requester == 5
+        assert "held by node 2" in str(err)
+
+    def test_node_down_and_message_lost_carry_endpoints(self):
+        assert NodeDownError(3).node == 3
+        lost = MessageLostError(1, 4)
+        assert (lost.src, lost.dst) == (1, 4)

@@ -1,0 +1,194 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.substrate.operations import Put
+from repro.workload.generators import (
+    ConflictingWorkload,
+    HotColdWorkload,
+    OutOfBoundStream,
+    SingleWriterWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+ITEMS = [f"item-{k:03d}" for k in range(50)]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("cls", [UniformWorkload, HotColdWorkload, ZipfWorkload, SingleWriterWorkload])
+    def test_same_seed_same_stream(self, cls):
+        a = cls(ITEMS, 4, seed=9).generate(50)
+        b = cls(ITEMS, 4, seed=9).generate(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = UniformWorkload(ITEMS, 4, seed=1).generate(50)
+        b = UniformWorkload(ITEMS, 4, seed=2).generate(50)
+        assert a != b
+
+
+class TestPayloads:
+    def test_payloads_are_unique_per_item_update(self):
+        workload = UniformWorkload(ITEMS, 2, seed=0)
+        events = workload.generate(200)
+        values = [e.op.value for e in events]
+        assert len(set(values)) == len(values)
+
+    def test_payloads_honor_value_size(self):
+        workload = UniformWorkload(ITEMS, 2, seed=0, value_size=128)
+        event = workload.generate(1)[0]
+        assert isinstance(event.op, Put)
+        assert len(event.op.value) == 128
+
+    def test_touched_items_tracks_actual_m(self):
+        workload = UniformWorkload(ITEMS, 2, seed=0)
+        events = workload.generate(30)
+        assert workload.touched_items() == {e.item for e in events}
+
+
+class TestValidation:
+    def test_empty_item_set_rejected(self):
+        with pytest.raises(ValueError):
+            UniformWorkload([], 2)
+
+    def test_bad_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            UniformWorkload(ITEMS, 0)
+
+    def test_bad_hot_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            HotColdWorkload(ITEMS, 2, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotColdWorkload(ITEMS, 2, hot_weight=1.5)
+
+    def test_bad_zipf_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfWorkload(ITEMS, 2, s=0.0)
+
+
+class TestSkew:
+    def test_hot_cold_concentrates_updates(self):
+        workload = HotColdWorkload(
+            ITEMS, 2, seed=3, hot_fraction=0.1, hot_weight=0.9
+        )
+        events = workload.generate(1000)
+        hot = set(workload.hot_items)
+        hot_hits = sum(1 for e in events if e.item in hot)
+        assert hot_hits > 800
+
+    def test_zipf_head_dominates(self):
+        workload = ZipfWorkload(ITEMS, 2, seed=3, s=1.5)
+        events = workload.generate(2000)
+        head_hits = sum(1 for e in events if e.item == ITEMS[0])
+        tail_hits = sum(1 for e in events if e.item == ITEMS[-1])
+        assert head_hits > 10 * max(tail_hits, 1)
+
+    def test_uniform_touches_most_items(self):
+        workload = UniformWorkload(ITEMS, 2, seed=3)
+        workload.generate(1000)
+        assert len(workload.touched_items()) > 40
+
+
+class TestSingleWriter:
+    def test_each_item_has_one_writer(self):
+        workload = SingleWriterWorkload(ITEMS, 3, seed=0)
+        events = workload.generate(500)
+        writer_of: dict[str, int] = {}
+        for event in events:
+            assert writer_of.setdefault(event.item, event.node) == event.node
+            assert event.node == workload.owner_of(event.item)
+
+
+class TestConflicting:
+    def test_pairs_target_same_item_different_nodes(self):
+        workload = ConflictingWorkload(ITEMS, 4, seed=0)
+        for event_a, event_b in workload.conflicting_pairs(20):
+            assert event_a.item == event_b.item
+            assert event_a.node != event_b.node
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            ConflictingWorkload(ITEMS, 1)
+
+    def test_plain_events_unsupported(self):
+        workload = ConflictingWorkload(ITEMS, 2, seed=0)
+        with pytest.raises(NotImplementedError):
+            workload.generate(1)
+
+
+class TestOutOfBoundStream:
+    def test_requests_are_well_formed(self):
+        stream = OutOfBoundStream(ITEMS, 4, seed=0, hot_items=ITEMS[:3])
+        for node, item, source in stream.requests(50):
+            assert 0 <= node < 4
+            assert 0 <= source < 4
+            assert node != source
+            assert item in ITEMS[:3]
+
+    def test_defaults_to_all_items(self):
+        stream = OutOfBoundStream(ITEMS, 2, seed=0)
+        items = {item for _n, item, _s in stream.requests(200)}
+        assert len(items) > 20
+
+
+class TestBurstWorkload:
+    def test_bursts_hammer_one_item(self):
+        from repro.workload.generators import BurstWorkload
+
+        workload = BurstWorkload(
+            ITEMS, 2, seed=1, burst_every=10, burst_length=8
+        )
+        events = workload.generate(100)
+        # Find a run of >= 8 identical (node, item) pairs.
+        best_run, run = 1, 1
+        for prev, curr in zip(events, events[1:]):
+            run = run + 1 if (prev.node, prev.item) == (curr.node, curr.item) else 1
+            best_run = max(best_run, run)
+        assert best_run >= 8
+
+    def test_deterministic(self):
+        from repro.workload.generators import BurstWorkload
+
+        a = BurstWorkload(ITEMS, 2, seed=4).generate(60)
+        b = BurstWorkload(ITEMS, 2, seed=4).generate(60)
+        assert a == b
+
+    def test_bad_parameters_rejected(self):
+        from repro.workload.generators import BurstWorkload
+
+        with pytest.raises(ValueError):
+            BurstWorkload(ITEMS, 2, burst_every=0)
+        with pytest.raises(ValueError):
+            BurstWorkload(ITEMS, 2, burst_length=0)
+
+
+class TestReadWriteMix:
+    def test_fraction_respected(self):
+        from repro.workload.generators import ReadEvent, ReadWriteMix
+
+        mix = ReadWriteMix(ITEMS, 3, seed=2, read_fraction=0.8)
+        events = mix.generate(1000)
+        reads = sum(1 for e in events if isinstance(e, ReadEvent))
+        assert 700 < reads < 900
+
+    def test_writes_are_single_writer(self):
+        from repro.workload.generators import ReadWriteMix, UpdateEvent
+
+        mix = ReadWriteMix(ITEMS, 3, seed=2, read_fraction=0.5)
+        writer_of = {}
+        for event in mix.generate(400):
+            if isinstance(event, UpdateEvent):
+                assert writer_of.setdefault(event.item, event.node) == event.node
+
+    def test_bad_fraction_rejected(self):
+        from repro.workload.generators import ReadWriteMix
+
+        with pytest.raises(ValueError):
+            ReadWriteMix(ITEMS, 2, read_fraction=1.5)
+
+    def test_pure_read_stream(self):
+        from repro.workload.generators import ReadEvent, ReadWriteMix
+
+        mix = ReadWriteMix(ITEMS, 2, seed=3, read_fraction=1.0)
+        assert all(isinstance(e, ReadEvent) for e in mix.generate(50))
