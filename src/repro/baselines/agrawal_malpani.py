@@ -33,8 +33,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.messages import WORD_SIZE
-from repro.errors import UnknownItemError
-from repro.interfaces import ProtocolNode, SyncStats, Transport
+from repro.errors import MessageLostError, NodeDownError, UnknownItemError
+from repro.interfaces import (
+    ProtocolNode,
+    SessionPhase,
+    SessionScope,
+    SyncStats,
+    Transport,
+    open_session,
+)
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
@@ -160,15 +167,36 @@ class AgrawalMalpaniNode(ProtocolNode):
             )
         stats = SyncStats()
         self._sync_calls += 1
-        applied = self._log_push(peer, transport, stats)
-        if self._sync_calls % self.vector_exchange_every == 0:
-            applied += self._vector_exchange(peer, transport, stats)
+        session = open_session(transport, self.node_id, peer.node_id)
+        try:
+            applied = self._log_push(peer, transport, stats, session)
+            if self._sync_calls % self.vector_exchange_every == 0:
+                applied += self._vector_exchange(peer, transport, stats, session)
+        except (NodeDownError, MessageLostError):
+            # A lost log push is *by design* not retried (the cursors
+            # already advanced — decoupling means the cheap path carries
+            # no acknowledgement state); the vector exchange repairs the
+            # gap later.  The abort is still a failed session for
+            # accounting purposes.
+            stats.failed = True
+            stats.aborted_phase = session.phase
+            stats.messages = session.messages
+            stats.bytes_sent = session.bytes_sent
+            return stats
+        finally:
+            session.close()
+        stats.bytes_sent = session.bytes_sent
         stats.items_transferred = applied
         stats.identical = applied == 0
+        session.advance(SessionPhase.REPLY_APPLIED)
         return stats
 
     def _log_push(
-        self, peer: "AgrawalMalpaniNode", transport: Transport, stats: SyncStats
+        self,
+        peer: "AgrawalMalpaniNode",
+        transport: Transport,
+        stats: SyncStats,
+        session: SessionScope,
     ) -> int:
         # Pushes are deliberately fire-and-forget: the cursors advance
         # whether or not delivery succeeds, and a lost push is never
@@ -185,9 +213,11 @@ class AgrawalMalpaniNode(ProtocolNode):
             cursors[origin] = len(records)
         if not fresh:
             return 0
+        session.advance(SessionPhase.REQUEST_SENT)
         message = transport.deliver(
             self.node_id, peer.node_id, _LogPush(self.node_id, tuple(fresh))
         )
+        session.advance(SessionPhase.SOURCE_PROCESSED)
         stats.messages += 1
         return peer._accept_records(message.records)
 
@@ -205,14 +235,20 @@ class AgrawalMalpaniNode(ProtocolNode):
         return applied
 
     def _vector_exchange(
-        self, peer: "AgrawalMalpaniNode", transport: Transport, stats: SyncStats
+        self,
+        peer: "AgrawalMalpaniNode",
+        transport: Transport,
+        stats: SyncStats,
+        session: SessionScope,
     ) -> int:
         """Compare received-vectors both ways and repair gaps."""
         self.vector_exchanges += 1
+        session.advance(SessionPhase.REQUEST_SENT)
         mine = transport.deliver(
             self.node_id, peer.node_id,
             _VectorExchange(self.node_id, self.received_vector()),
         )
+        session.advance(SessionPhase.REPLY_IN_FLIGHT)
         theirs = transport.deliver(
             peer.node_id, self.node_id,
             _VectorExchange(peer.node_id, peer.received_vector()),
@@ -226,9 +262,11 @@ class AgrawalMalpaniNode(ProtocolNode):
             if theirs.received[origin] > mine.received[origin]
         )
         if gaps:
+            session.advance(SessionPhase.REQUEST_SENT)
             request = transport.deliver(
                 self.node_id, peer.node_id, _RepairRequest(self.node_id, gaps)
             )
+            session.advance(SessionPhase.REPLY_IN_FLIGHT)
             repair = transport.deliver(
                 peer.node_id, self.node_id, peer._serve_repair(request)
             )
@@ -242,9 +280,11 @@ class AgrawalMalpaniNode(ProtocolNode):
             if mine.received[origin] > theirs.received[origin]
         )
         if peer_gaps:
+            session.advance(SessionPhase.REQUEST_SENT)
             request = transport.deliver(
                 peer.node_id, self.node_id, _RepairRequest(peer.node_id, peer_gaps)
             )
+            session.advance(SessionPhase.REPLY_IN_FLIGHT)
             repair = transport.deliver(
                 self.node_id, peer.node_id, self._serve_repair(request)
             )

@@ -39,8 +39,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.messages import WORD_SIZE
-from repro.errors import UnknownItemError
-from repro.interfaces import ProtocolNode, SyncStats, Transport
+from repro.errors import MessageLostError, NodeDownError, UnknownItemError
+from repro.interfaces import (
+    ProtocolNode,
+    SessionPhase,
+    SyncStats,
+    Transport,
+    open_session,
+)
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
@@ -155,32 +161,61 @@ class LotusNode(ProtocolNode):
                 f"cannot run Lotus replication against {type(peer).__name__}"
             )
         stats = SyncStats(messages=2)
-        probe = transport.deliver(
-            self.node_id, peer.node_id, _PropagationProbe(self.node_id)
-        )
-        change_list = peer._serve_probe(probe)
-        change_list = transport.deliver(peer.node_id, self.node_id, change_list)
-        if not change_list.entries:
-            stats.identical = True
-            return stats
+        session = open_session(transport, self.node_id, peer.node_id)
+        try:
+            session.advance(SessionPhase.REQUEST_SENT)
+            probe = transport.deliver(
+                self.node_id, peer.node_id, _PropagationProbe(self.node_id)
+            )
+            session.advance(SessionPhase.SOURCE_PROCESSED)
+            change_list = peer._serve_probe(probe)
+            session.advance(SessionPhase.REPLY_IN_FLIGHT)
+            change_list = transport.deliver(
+                peer.node_id, self.node_id, change_list
+            )
+            if not change_list.entries:
+                stats.identical = True
+                stats.bytes_sent = session.bytes_sent
+                session.advance(SessionPhase.REPLY_APPLIED)
+                return stats
 
-        wanted: list[str] = []
-        for name, seqno, writer in change_list.entries:
-            self.counters.seqno_comparisons += 1
-            if (seqno, writer) > self._doc(name).stamp():
-                wanted.append(name)
-        if not wanted:
-            # The list was all stale entries — work was done for nothing
-            # (the Lotus overhead the paper criticizes), but no data
-            # needs to move.
-            return stats
+            wanted: list[str] = []
+            for name, seqno, writer in change_list.entries:
+                self.counters.seqno_comparisons += 1
+                if (seqno, writer) > self._doc(name).stamp():
+                    wanted.append(name)
+            if not wanted:
+                # The list was all stale entries — work was done for
+                # nothing (the Lotus overhead the paper criticizes), but
+                # no data needs to move.
+                stats.bytes_sent = session.bytes_sent
+                session.advance(SessionPhase.REPLY_APPLIED)
+                return stats
 
-        fetch = transport.deliver(
-            self.node_id, peer.node_id, _DocFetch(self.node_id, tuple(wanted))
-        )
-        shipment = peer._serve_fetch(fetch)
-        shipment = transport.deliver(peer.node_id, self.node_id, shipment)
+            # Second exchange: the phase machine cycles back for the
+            # document fetch.
+            session.advance(SessionPhase.REQUEST_SENT)
+            fetch = transport.deliver(
+                self.node_id, peer.node_id, _DocFetch(self.node_id, tuple(wanted))
+            )
+            session.advance(SessionPhase.SOURCE_PROCESSED)
+            shipment = peer._serve_fetch(fetch)
+            session.advance(SessionPhase.REPLY_IN_FLIGHT)
+            shipment = transport.deliver(peer.node_id, self.node_id, shipment)
+        except (NodeDownError, MessageLostError):
+            # Note the Lotus-specific hazard: if the source already
+            # served the probe (advancing its last-propagation cursor)
+            # and the reply was lost, those entries will not be offered
+            # again — a real weakness of per-pair cursors under faults.
+            stats.failed = True
+            stats.aborted_phase = session.phase
+            stats.messages = session.messages
+            stats.bytes_sent = session.bytes_sent
+            return stats
+        finally:
+            session.close()
         stats.messages += 2
+        stats.bytes_sent = session.bytes_sent
         for name, value, seqno, writer in shipment.docs:
             doc = self._doc(name)
             # Blind adoption by sequence number: this is where Lotus can
@@ -193,6 +228,7 @@ class LotusNode(ProtocolNode):
             self._db_last_modified = self._clock
             self.counters.items_copied += 1
             stats.items_transferred += 1
+        session.advance(SessionPhase.REPLY_APPLIED)
         return stats
 
     def _serve_probe(self, probe: _PropagationProbe) -> _ChangeList:

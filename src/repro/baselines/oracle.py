@@ -32,7 +32,13 @@ from dataclasses import dataclass
 from repro.cluster.failures import CrashAfterPartialPush
 from repro.core.messages import WORD_SIZE
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
-from repro.interfaces import ProtocolNode, SyncStats, Transport
+from repro.interfaces import (
+    ProtocolNode,
+    SessionPhase,
+    SyncStats,
+    Transport,
+    open_session,
+)
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
@@ -124,13 +130,24 @@ class OraclePushNode(ProtocolNode):
             stats.identical = True
             return stats
         batch = _PushBatch(self.node_id, tuple(pending))
+        # The push is a single message, so the session has one fault
+        # point: the batch in flight (REQUEST_SENT).
+        session = open_session(transport, self.node_id, peer.node_id)
         try:
+            session.advance(SessionPhase.REQUEST_SENT)
             batch = transport.deliver(self.node_id, peer.node_id, batch)
         except (NodeDownError, MessageLostError):
             stats.failed = True
+            stats.aborted_phase = session.phase
+            stats.messages = session.messages
+            stats.bytes_sent = session.bytes_sent
             return stats
+        finally:
+            session.close()
         stats.messages = 1
+        stats.bytes_sent = session.bytes_sent
         applied = peer._apply_batch(batch)
+        session.advance(SessionPhase.REPLY_APPLIED)
         self._acked[peer.node_id] = len(self._queue)
         stats.items_transferred = applied
         return stats

@@ -25,8 +25,14 @@ from dataclasses import dataclass
 
 from repro.core.messages import WORD_SIZE, ItemPayload, vv_wire_size
 from repro.core.version_vector import Ordering, VersionVector
-from repro.errors import UnknownItemError
-from repro.interfaces import ProtocolNode, SyncStats, Transport
+from repro.errors import MessageLostError, NodeDownError, UnknownItemError
+from repro.interfaces import (
+    ProtocolNode,
+    SessionPhase,
+    SyncStats,
+    Transport,
+    open_session,
+)
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
@@ -121,41 +127,67 @@ class PerItemVVNode(ProtocolNode):
                 f"cannot run per-item anti-entropy against {type(peer).__name__}"
             )
         stats = SyncStats(messages=2)
-        request = transport.deliver(
-            self.node_id, peer.node_id, _IVVListRequest(self.node_id)
-        )
-        reply = peer._serve_ivv_list(request)
-        reply = transport.deliver(peer.node_id, self.node_id, reply)
+        session = open_session(transport, self.node_id, peer.node_id)
+        try:
+            session.advance(SessionPhase.REQUEST_SENT)
+            request = transport.deliver(
+                self.node_id, peer.node_id, _IVVListRequest(self.node_id)
+            )
+            session.advance(SessionPhase.SOURCE_PROCESSED)
+            reply = peer._serve_ivv_list(request)
+            session.advance(SessionPhase.REPLY_IN_FLIGHT)
+            reply = transport.deliver(peer.node_id, self.node_id, reply)
 
-        wanted: list[str] = []
-        for name, remote_ivv in reply.ivvs:
-            self.counters.vv_comparisons += 1
-            self.counters.vv_components_touched += self.n_nodes
-            self.counters.items_scanned += 1
-            ordering = remote_ivv.compare(self._ivvs[name])
-            if ordering is Ordering.DOMINATES:
-                wanted.append(name)
-            elif ordering is Ordering.CONCURRENT:
-                self._conflicts.append(name)
-                self.counters.conflicts_detected += 1
-                stats.conflicts += 1
-        if not wanted:
-            stats.identical = all(
-                remote_ivv == self._ivvs[name] for name, remote_ivv in reply.ivvs
-            ) and stats.conflicts == 0
+            wanted: list[str] = []
+            for name, remote_ivv in reply.ivvs:
+                self.counters.vv_comparisons += 1
+                self.counters.vv_components_touched += self.n_nodes
+                self.counters.items_scanned += 1
+                ordering = remote_ivv.compare(self._ivvs[name])
+                if ordering is Ordering.DOMINATES:
+                    wanted.append(name)
+                elif ordering is Ordering.CONCURRENT:
+                    self._conflicts.append(name)
+                    self.counters.conflicts_detected += 1
+                    stats.conflicts += 1
+            if not wanted:
+                stats.identical = all(
+                    remote_ivv == self._ivvs[name]
+                    for name, remote_ivv in reply.ivvs
+                ) and stats.conflicts == 0
+                stats.bytes_sent = session.bytes_sent
+                session.advance(SessionPhase.REPLY_APPLIED)
+                return stats
+
+            # Second exchange of the session: the phase machine cycles
+            # back through request-sent / reply-in-flight for the fetch.
+            session.advance(SessionPhase.REQUEST_SENT)
+            fetch = transport.deliver(
+                self.node_id, peer.node_id, _ItemFetch(self.node_id, tuple(wanted))
+            )
+            session.advance(SessionPhase.SOURCE_PROCESSED)
+            shipment = peer._serve_fetch(fetch)
+            session.advance(SessionPhase.REPLY_IN_FLIGHT)
+            shipment = transport.deliver(peer.node_id, self.node_id, shipment)
+        except (NodeDownError, MessageLostError):
+            # IVV comparisons already done are harmless — no item state
+            # changed yet, so the session aborts cleanly (conflicts
+            # detected while comparing were real detections and stand).
+            stats.failed = True
+            stats.aborted_phase = session.phase
+            stats.messages = session.messages
+            stats.bytes_sent = session.bytes_sent
             return stats
-
-        fetch = transport.deliver(
-            self.node_id, peer.node_id, _ItemFetch(self.node_id, tuple(wanted))
-        )
-        shipment = peer._serve_fetch(fetch)
-        shipment = transport.deliver(peer.node_id, self.node_id, shipment)
+        finally:
+            session.close()
         stats.messages += 2
+        stats.bytes_sent = session.bytes_sent
         for payload in shipment.payloads:
             self._values[payload.name] = payload.value
             self._ivvs[payload.name] = payload.ivv.copy()
             self.counters.items_copied += 1
             stats.items_transferred += 1
+        session.advance(SessionPhase.REPLY_APPLIED)
         return stats
 
     def _serve_ivv_list(self, request: _IVVListRequest) -> _IVVListReply:

@@ -35,8 +35,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.messages import WORD_SIZE
-from repro.errors import UnknownItemError
-from repro.interfaces import ProtocolNode, SyncStats, Transport
+from repro.errors import MessageLostError, NodeDownError, UnknownItemError
+from repro.interfaces import (
+    ProtocolNode,
+    SessionPhase,
+    SyncStats,
+    Transport,
+    open_session,
+)
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
@@ -132,11 +138,28 @@ class WuuBernsteinNode(ProtocolNode):
                 f"cannot gossip with {type(peer).__name__}"
             )
         stats = SyncStats(messages=2)
-        request = transport.deliver(
-            self.node_id, peer.node_id, _GossipRequest(self.node_id)
-        )
-        message = peer._build_gossip(request.requester)
-        message = transport.deliver(peer.node_id, self.node_id, message)
+        session = open_session(transport, self.node_id, peer.node_id)
+        try:
+            session.advance(SessionPhase.REQUEST_SENT)
+            request = transport.deliver(
+                self.node_id, peer.node_id, _GossipRequest(self.node_id)
+            )
+            session.advance(SessionPhase.SOURCE_PROCESSED)
+            message = peer._build_gossip(request.requester)
+            session.advance(SessionPhase.REPLY_IN_FLIGHT)
+            message = transport.deliver(peer.node_id, self.node_id, message)
+        except (NodeDownError, MessageLostError):
+            # Safe abort: the time-table only records *proven* knowledge,
+            # so a lost gossip message merely means the records travel
+            # again next session.
+            stats.failed = True
+            stats.aborted_phase = session.phase
+            stats.messages = session.messages
+            stats.bytes_sent = session.bytes_sent
+            return stats
+        finally:
+            session.close()
+        stats.bytes_sent = session.bytes_sent
 
         applied = 0
         for record in message.records:
@@ -167,6 +190,7 @@ class WuuBernsteinNode(ProtocolNode):
                 if remote_row[l_idx] > row[l_idx]:
                     row[l_idx] = remote_row[l_idx]
         self._garbage_collect()
+        session.advance(SessionPhase.REPLY_APPLIED)
         return stats
 
     def _build_gossip(self, requester: int) -> _GossipMessage:

@@ -11,8 +11,23 @@ Plans are declarative so experiments read as data::
 
     plan = FailurePlan([
         Crash(node=0, at_round=3),
+        CrashMidSession(node=2, at_round=5, after_messages=1),
+        LossyWindow(rate=0.4, at_round=8, until_round=12, seed=99),
         Recover(node=0, at_round=20),
     ])
+
+Two granularities coexist:
+
+* **round-level events** (:class:`Crash`, :class:`Recover`,
+  :class:`PartitionEvent`, :class:`HealEvent`) change the network state
+  at the *start* of their round, before any session runs;
+* **mid-session events** arm the network's scripted fault machinery at
+  the start of their round and fire *inside* a session later that round:
+  :class:`CrashMidSession` kills a node between two messages of the
+  first session it participates in (the failure window E5's
+  interrupted-session arm stresses — the session is half done, one
+  endpoint has already processed state), and :class:`LossyWindow` raises
+  the per-message drop probability for a span of rounds.
 
 The E5 experiment's signature scenario — the originator crashing
 *mid-push*, after only some recipients got the new data — is modelled
@@ -22,6 +37,7 @@ between per-peer transfers.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.cluster.network import SimulatedNetwork
@@ -31,6 +47,8 @@ __all__ = [
     "Recover",
     "PartitionEvent",
     "HealEvent",
+    "CrashMidSession",
+    "LossyWindow",
     "FailurePlan",
     "CrashAfterPartialPush",
 ]
@@ -67,24 +85,84 @@ class HealEvent:
     at_round: int
 
 
+@dataclass(frozen=True)
+class CrashMidSession:
+    """Crash ``node`` *between two messages* of a session during
+    ``at_round``: armed at the start of the round, it fires once the
+    first session involving ``node`` has moved ``after_messages``
+    messages, so that session's next message finds the node dead.
+    The node stays down until an explicit :class:`Recover`.
+    """
+
+    node: int
+    at_round: int
+    after_messages: int = 1
+
+    def __post_init__(self) -> None:
+        if self.after_messages < 1:
+            raise ValueError(
+                f"after_messages must be >= 1, got {self.after_messages}"
+            )
+
+
+@dataclass(frozen=True)
+class LossyWindow:
+    """Raise the network's drop probability to ``rate`` for the rounds
+    ``at_round .. until_round - 1``; at ``until_round`` the
+    constructor-time rate is restored.  ``seed`` makes the window's
+    drops reproducible when the network has no RNG of its own.
+    """
+
+    rate: float
+    at_round: int
+    until_round: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.until_round <= self.at_round:
+            raise ValueError(
+                f"until_round ({self.until_round}) must be after "
+                f"at_round ({self.at_round})"
+            )
+
+
+FailureEvent = (
+    Crash | Recover | PartitionEvent | HealEvent | CrashMidSession | LossyWindow
+)
+
+
 @dataclass
 class FailurePlan:
     """An ordered script of failure events keyed by round number."""
 
-    events: list[Crash | Recover | PartitionEvent | HealEvent] = field(
-        default_factory=list
-    )
+    events: list[FailureEvent] = field(default_factory=list)
 
     def apply_round(self, round_no: int, network: SimulatedNetwork) -> list[object]:
-        """Fire every event scheduled for ``round_no``; returns them."""
+        """Fire every event scheduled for ``round_no``; returns them.
+        (A :class:`LossyWindow` fires twice: once to open at its
+        ``at_round``, once to close at its ``until_round``.)
+        """
         fired: list[object] = []
         for event in self.events:
+            if isinstance(event, LossyWindow):
+                if round_no == event.at_round:
+                    network.set_loss_rate(
+                        event.rate,
+                        rng=network.rng or random.Random(event.seed),
+                    )
+                    fired.append(event)
+                elif round_no == event.until_round:
+                    network.restore_loss_rate()
+                    fired.append(event)
+                continue
             if event.at_round != round_no:
                 continue
             if isinstance(event, Crash):
                 network.set_down(event.node)
             elif isinstance(event, Recover):
                 network.set_up(event.node)
+            elif isinstance(event, CrashMidSession):
+                network.arm_mid_session_crash(event.node, event.after_messages)
             elif isinstance(event, PartitionEvent):
                 network.partition([list(group) for group in event.groups])
             else:
@@ -92,19 +170,44 @@ class FailurePlan:
             fired.append(event)
         return fired
 
+    def final_round(self, event: FailureEvent) -> int:
+        """The last round at which ``event`` changes network state."""
+        if isinstance(event, LossyWindow):
+            return event.until_round
+        return event.at_round
+
+    def pending_after(self, round_no: int) -> bool:
+        """True while events remain that fire after ``round_no`` — a
+        scheduled recovery (or window close) can still change the
+        network, so callers must not treat the system as settled."""
+        return any(self.final_round(event) > round_no for event in self.events)
+
     def crashed_through(self, round_no: int) -> set[int]:
-        """Nodes that are down as of (the start of) ``round_no``."""
+        """Nodes that are down as of (the start of) ``round_no``.
+
+        A :class:`Crash` at round ``r`` takes effect at the start of
+        ``r``; a :class:`CrashMidSession` at round ``r`` fires *during*
+        ``r``, so the node counts as down only from round ``r + 1`` on
+        (assuming it fired — this static view cannot know whether a
+        session actually touched the node).  Events sharing a round
+        apply in list order, matching :meth:`apply_round`.
+        """
+        timeline: list[tuple[float, int, FailureEvent]] = []
+        for idx, event in enumerate(self.events):
+            if isinstance(event, Crash) or isinstance(event, Recover):
+                timeline.append((float(event.at_round), idx, event))
+            elif isinstance(event, CrashMidSession):
+                # Fires mid-round: after round at_round's start events,
+                # before round at_round + 1's.
+                timeline.append((event.at_round + 0.5, idx, event))
         down: set[int] = set()
-        for event in sorted(
-            (e for e in self.events if isinstance(e, (Crash, Recover))),
-            key=lambda e: e.at_round,
-        ):
-            if event.at_round > round_no:
+        for when, _idx, event in sorted(timeline, key=lambda t: (t[0], t[1])):
+            if when > round_no:
                 break
-            if isinstance(event, Crash):
-                down.add(event.node)
-            else:
+            if isinstance(event, Recover):
                 down.discard(event.node)
+            else:
+                down.add(event.node)
         return down
 
 

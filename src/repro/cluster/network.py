@@ -9,15 +9,26 @@ properties the experiments need:
 * **partitions** — nodes can be split into groups that cannot reach
   each other;
 * **loss** — an optional independent per-message drop probability,
-  deterministic under the injected RNG;
+  deterministic under the injected RNG and adjustable at runtime (the
+  failure plan's lossy windows use this);
+* **sessions** — anti-entropy sessions register a
+  :class:`~repro.interfaces.SessionScope` so every message is
+  attributed to the session that sent it, which enables the scripted
+  **mid-session faults**: crash a participant between two messages of a
+  session (:meth:`arm_mid_session_crash`) or drop the N-th message of a
+  session (:meth:`arm_message_drop`);
 * **accounting** — global and per-link message/byte counters, plus the
   per-protocol counters sink, so traffic experiments (E8) can attribute
-  every byte.
+  every byte.  Messages dropped *in flight* (loss model or scripted
+  drop) are charged like delivered ones — they left the sender — and
+  additionally tracked in the drop counters; only a connect-time
+  failure (dead or partitioned endpoint) is free.
 
 Latency is modelled as a per-link cost accumulated into ``latency_total``
-for reporting; it does not reorder events (anti-entropy sessions are
-atomic at the simulation's time granularity, which matches the paper's
-round-level reasoning).
+for reporting; it does not reorder events (messages within a session are
+delivered in program order, which matches the paper's round-level
+reasoning — the fault points between them are what the session scope
+adds).
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import MessageLostError, NodeDownError, UnknownNodeError
+from repro.interfaces import SessionScope
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 
 __all__ = ["LinkStats", "SimulatedNetwork"]
@@ -33,10 +45,25 @@ __all__ = ["LinkStats", "SimulatedNetwork"]
 
 @dataclass
 class LinkStats:
-    """Traffic totals for one directed link."""
+    """Traffic totals for one directed link.
+
+    ``messages`` / ``bytes`` count everything that left the sender on
+    this link, including messages later dropped in flight; ``dropped``
+    counts the in-flight losses among them.
+    """
 
     messages: int = 0
     bytes: int = 0
+    dropped: int = 0
+
+
+@dataclass
+class _ArmedCrash:
+    """One-shot scripted fault: crash ``node`` once a session it
+    participates in has moved ``after_messages`` messages."""
+
+    node: int
+    after_messages: int
 
 
 @dataclass
@@ -48,14 +75,14 @@ class SimulatedNetwork:
     n_nodes:
         Size of the replica set.
     counters:
-        Global sink charged for every delivered message.
+        Global sink charged for every message that leaves a sender.
     loss_rate:
         Probability each message is independently dropped (0 disables).
     rng:
         Randomness source for loss; required when ``loss_rate > 0`` so
         experiments stay reproducible.
     link_latency:
-        Simulated cost units accumulated per delivered message.
+        Simulated cost units accumulated per message.
     """
 
     n_nodes: int
@@ -67,10 +94,10 @@ class SimulatedNetwork:
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
             raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
-        if not 0.0 <= self.loss_rate < 1.0:
-            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        self._check_loss_rate(self.loss_rate)
         if self.loss_rate > 0.0 and self.rng is None:
             raise ValueError("loss_rate > 0 requires an explicit rng")
+        self._base_loss_rate = self.loss_rate
         self._up = [True] * self.n_nodes
         # Partition groups: equal group ids can reach each other.  All
         # nodes start in one group (no partitions).
@@ -78,6 +105,15 @@ class SimulatedNetwork:
         self._links: dict[tuple[int, int], LinkStats] = {}
         self.latency_total = 0.0
         self.messages_dropped = 0
+        self.bytes_dropped = 0
+        self._session: SessionScope | None = None
+        self._armed_crashes: list[_ArmedCrash] = []
+        self._armed_drops: list[int] = []
+
+    @staticmethod
+    def _check_loss_rate(rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {rate}")
 
     # -- liveness ------------------------------------------------------------
 
@@ -97,12 +133,21 @@ class SimulatedNetwork:
 
     def add_node(self) -> int:
         """Grow the fabric by one node (dynamic-membership extension);
-        returns the new node's id.  The newcomer starts up and joins
-        the default partition group."""
+        returns the new node's id.  The newcomer starts up.  While the
+        network is unpartitioned it joins the common group; while any
+        partition is active it forms a fresh singleton group — group ids
+        are renumbered arbitrarily by :meth:`partition`, so landing the
+        newcomer in any existing group would silently place it inside
+        one side of a split it was never part of.
+        """
         new_id = self.n_nodes
         self.n_nodes += 1
         self._up.append(True)
-        self._group_of.append(0)
+        groups = set(self._group_of)
+        if len(groups) <= 1:
+            self._group_of.append(self._group_of[0] if self._group_of else 0)
+        else:
+            self._group_of.append(max(groups) + 1)
         return new_id
 
     # -- partitions ------------------------------------------------------------
@@ -140,17 +185,74 @@ class SimulatedNetwork:
             and self._group_of[src] == self._group_of[dst]
         )
 
+    # -- loss ------------------------------------------------------------------
+
+    def set_loss_rate(self, rate: float, rng: random.Random | None = None) -> None:
+        """Change the per-message drop probability at runtime (lossy
+        windows).  A nonzero rate needs an RNG: the one passed here, or
+        the one the network already holds."""
+        self._check_loss_rate(rate)
+        if rng is not None:
+            self.rng = rng
+        if rate > 0.0 and self.rng is None:
+            raise ValueError("loss_rate > 0 requires an explicit rng")
+        self.loss_rate = rate
+
+    def restore_loss_rate(self) -> None:
+        """End a lossy window: back to the constructor-time rate."""
+        self.loss_rate = self._base_loss_rate
+
+    # -- sessions and scripted faults -----------------------------------------
+
+    def open_session(self, initiator: int, responder: int) -> SessionScope:
+        """Register the session about to run between ``initiator`` and
+        ``responder``; messages delivered until ``close()`` are
+        attributed to it and scripted mid-session faults apply to it.
+        Sessions are sequential in the simulation, so opening a new
+        scope supersedes any stale unclosed one.
+        """
+        self._check_node(initiator)
+        self._check_node(responder)
+        scope = SessionScope(initiator, responder)
+        self._session = scope
+        return scope
+
+    def arm_mid_session_crash(self, node: int, after_messages: int = 1) -> None:
+        """One-shot scripted fault: the next time a session involving
+        ``node`` has moved ``after_messages`` messages, crash ``node``
+        between messages — the session's next delivery finds it dead.
+        """
+        self._check_node(node)
+        if after_messages < 1:
+            raise ValueError(
+                f"after_messages must be >= 1, got {after_messages}"
+            )
+        self._armed_crashes.append(_ArmedCrash(node, after_messages))
+
+    def arm_message_drop(self, nth_message: int = 1) -> None:
+        """One-shot scripted fault: drop the ``nth_message``-th message
+        of the next session that gets that far (counting from 1)."""
+        if nth_message < 1:
+            raise ValueError(f"nth_message must be >= 1, got {nth_message}")
+        self._armed_drops.append(nth_message)
+
+    def armed_fault_count(self) -> int:
+        """Scripted faults still waiting to fire (test/experiment aid)."""
+        return len(self._armed_crashes) + len(self._armed_drops)
+
     # -- delivery ------------------------------------------------------------
 
     def deliver(self, src: int, dst: int, message):
         """Deliver ``message`` from ``src`` to ``dst``, charging traffic.
 
         Raises :class:`NodeDownError` when either endpoint is down or the
-        endpoints are partitioned apart, :class:`MessageLostError` when
-        the loss model drops the message.  Charges are made only for
-        messages that actually leave the sender (a down destination is
-        detected at connect time, before bytes flow — sessions are
-        connection-oriented, as a dial-up link would be).
+        endpoints are partitioned apart — detected at connect time,
+        before bytes flow, so nothing is charged (sessions are
+        connection-oriented, as a dial-up link would be).  A message
+        dropped *in flight* (the loss model or a scripted drop) did
+        leave the sender: it is charged to the global and per-link
+        counters like a delivered message, counted in the drop
+        counters, and raises :class:`MessageLostError`.
         """
         self._check_node(src)
         self._check_node(dst)
@@ -158,11 +260,6 @@ class SimulatedNetwork:
             raise NodeDownError(src)
         if not self._up[dst] or self._group_of[src] != self._group_of[dst]:
             raise NodeDownError(dst)
-        if self.loss_rate > 0.0:
-            assert self.rng is not None
-            if self.rng.random() < self.loss_rate:
-                self.messages_dropped += 1
-                raise MessageLostError(src, dst)
         size = message.wire_size()
         self.counters.messages_sent += 1
         self.counters.bytes_sent += size
@@ -170,7 +267,34 @@ class SimulatedNetwork:
         link.messages += 1
         link.bytes += size
         self.latency_total += self.link_latency
+        session = self._session if self._session is not None and not self._session.closed else None
+        if session is not None:
+            session.note_message(size)
+        if session is not None and session.messages in self._armed_drops:
+            self._armed_drops.remove(session.messages)
+            self._drop(link, size, src, dst)
+        if self.loss_rate > 0.0:
+            assert self.rng is not None
+            if self.rng.random() < self.loss_rate:
+                self._drop(link, size, src, dst)
+        # Scripted crash *between* messages: fires after this message
+        # was delivered, so the session's next message finds the node
+        # dead mid-exchange.
+        if session is not None:
+            for armed in list(self._armed_crashes):
+                if (
+                    armed.node in (session.initiator, session.responder)
+                    and session.messages >= armed.after_messages
+                ):
+                    self._armed_crashes.remove(armed)
+                    self.set_down(armed.node)
         return message
+
+    def _drop(self, link: LinkStats, size: int, src: int, dst: int) -> None:
+        self.messages_dropped += 1
+        self.bytes_dropped += size
+        link.dropped += 1
+        raise MessageLostError(src, dst)
 
     # -- accounting ------------------------------------------------------------
 

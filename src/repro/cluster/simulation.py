@@ -3,16 +3,24 @@
 :class:`ClusterSimulation` wires together ``n`` protocol nodes (any
 :class:`~repro.interfaces.ProtocolNode` implementation), a
 :class:`~repro.cluster.network.SimulatedNetwork`, a peer-selection
-policy, an optional failure plan, and ground-truth staleness tracking.
-Time advances in *rounds*: at the start of each round the failure plan
-fires, then every live node performs one synchronization with the peer
-its selector chose (crashed peers make the session fail, like a dead
-dial-up number).  User updates are applied between rounds by the caller
-or a workload driver.
+policy, an optional failure plan, a retry policy, and ground-truth
+staleness tracking.  Time advances in *rounds*: at the start of each
+round the failure plan fires and due retries of previously aborted
+sessions run, then every live node performs one synchronization with
+the peer its selector chose (crashed peers make the session fail, like
+a dead dial-up number).  User updates are applied between rounds by the
+caller or a workload driver.
+
+Sessions are *not* atomic: a fault can interrupt one between messages
+(see :class:`~repro.interfaces.SessionPhase`), and the simulation
+accounts for how far each aborted session got and how many bytes it
+wasted.  The :class:`RetryPolicy` layer re-attempts aborted sessions in
+later rounds with capped exponential backoff, optionally falling back
+to an alternate peer when the original one is unreachable.
 
 Everything is driven by one seeded :class:`random.Random`, so a
-simulation is a pure function of (factory, selector, plan, workload,
-seed) — the experiments rely on that to be re-runnable.
+simulation is a pure function of (factory, selector, plan, policy,
+workload, seed) — the experiments rely on that to be re-runnable.
 """
 
 from __future__ import annotations
@@ -27,11 +35,66 @@ from repro.cluster.failures import FailurePlan
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.scheduler import PeerSelector, RandomSelector
 from repro.errors import MessageLostError, NodeDownError
-from repro.interfaces import ProtocolNode, SyncStats
+from repro.interfaces import ProtocolNode, SessionPhase, SyncStats
 from repro.metrics.counters import OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
-__all__ = ["RoundStats", "ClusterSimulation"]
+__all__ = ["RetryPolicy", "RoundStats", "ClusterSimulation"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How aborted synchronization sessions are re-attempted.
+
+    ``max_attempts``
+        Total attempts per scheduled session, first try included — the
+        default of 1 disables retries (the pre-retry behavior).
+    ``backoff_rounds`` / ``max_backoff_rounds``
+        A failed attempt ``a`` (1-based) schedules the next one
+        ``min(backoff_rounds * 2**(a-1), max_backoff_rounds)`` rounds
+        later — bounded exponential backoff at round granularity.
+    ``alternate_peer``
+        When the original peer is unreachable at retry time, fall back
+        to a uniformly chosen reachable peer instead of burning the
+        attempt on a dead dial-up number.  (A reachable original peer is
+        always retried directly — it may simply have suffered a lost
+        message.)
+    """
+
+    max_attempts: int = 1
+    backoff_rounds: int = 1
+    max_backoff_rounds: int = 4
+    alternate_peer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_rounds < 1:
+            raise ValueError(
+                f"backoff_rounds must be >= 1, got {self.backoff_rounds}"
+            )
+        if self.max_backoff_rounds < self.backoff_rounds:
+            raise ValueError(
+                "max_backoff_rounds must be >= backoff_rounds "
+                f"({self.max_backoff_rounds} < {self.backoff_rounds})"
+            )
+
+    def backoff_for(self, attempt: int) -> int:
+        """Rounds to wait after failed attempt number ``attempt``."""
+        return min(self.backoff_rounds * 2 ** (attempt - 1), self.max_backoff_rounds)
+
+    def retries_enabled(self) -> bool:
+        return self.max_attempts > 1
+
+
+@dataclass(frozen=True)
+class _PendingRetry:
+    """One aborted session waiting for its backoff to elapse."""
+
+    node_id: int
+    peer: int
+    attempt: int        # the attempt number this retry will be
+    due_round: int
 
 
 @dataclass
@@ -42,10 +105,13 @@ class RoundStats:
     sessions: int = 0
     identical_sessions: int = 0
     failed_sessions: int = 0
+    retried_sessions: int = 0
     items_transferred: int = 0
     conflicts: int = 0
     messages: int = 0
     bytes_sent: int = 0
+    bytes_wasted: int = 0
+    aborted_by_phase: dict[str, int] = field(default_factory=dict)
     stale_pairs: int | None = None
 
 
@@ -67,6 +133,12 @@ class ClusterSimulation:
         Peer-selection policy (default: uniform random pull).
     failure_plan:
         Declarative crash/recover/partition script (default: none).
+    retry_policy:
+        How aborted sessions are re-attempted (default: no retries).
+    check_invariants_on_fault:
+        After every faulted session, run ``check_invariants()`` on both
+        endpoints that expose it (the DBVV adapters do) — an interrupted
+        session must never leave either side in an inconsistent state.
     seed:
         Seed for the simulation's single RNG.
     """
@@ -76,6 +148,8 @@ class ClusterSimulation:
     items: Sequence[str]
     selector: PeerSelector = field(default_factory=RandomSelector)
     failure_plan: FailurePlan = field(default_factory=FailurePlan)
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    check_invariants_on_fault: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -91,6 +165,7 @@ class ClusterSimulation:
         self.coverage = TransitiveCoverageTracker(self.n_nodes)
         self.round_no = 0
         self.history: list[RoundStats] = []
+        self._pending_retries: list[_PendingRetry] = []
 
     # -- workload entry points ---------------------------------------------------
 
@@ -149,7 +224,8 @@ class ClusterSimulation:
     # -- round execution ---------------------------------------------------------
 
     def run_round(self) -> RoundStats:
-        """One round: failure events, then one session per live node.
+        """One round: failure events, due retries, then one session per
+        live node.
 
         Sessions run in a random order each round (not ascending node
         id): real anti-entropy sessions are concurrent, and a fixed
@@ -161,6 +237,7 @@ class ClusterSimulation:
         stats = RoundStats(self.round_no)
         msgs_before = self.network_counters.messages_sent
         bytes_before = self.network_counters.bytes_sent
+        self._run_due_retries(stats)
         order = list(range(self.n_nodes))
         self.rng.shuffle(order)
         for node_id in order:
@@ -173,6 +250,41 @@ class ClusterSimulation:
         stats.stale_pairs = self.ground_truth.stale_pairs(self.nodes)
         self.history.append(stats)
         return stats
+
+    def _run_due_retries(self, stats: RoundStats) -> None:
+        """Re-attempt aborted sessions whose backoff has elapsed."""
+        due = [r for r in self._pending_retries if r.due_round <= self.round_no]
+        if not due:
+            return
+        self._pending_retries = [
+            r for r in self._pending_retries if r.due_round > self.round_no
+        ]
+        for retry in due:
+            if not self.network.is_up(retry.node_id):
+                # The retrying node itself crashed while backing off;
+                # its catch-up is the recovery path's job, not ours.
+                continue
+            peer = retry.peer
+            if (
+                self.retry_policy.alternate_peer
+                and not self.network.can_reach(retry.node_id, peer)
+            ):
+                peer = self._alternate_peer_for(retry.node_id, peer)
+            stats.retried_sessions += 1
+            self.network_counters.sessions_retried += 1
+            self._run_session(retry.node_id, peer, stats, attempt=retry.attempt)
+
+    def _alternate_peer_for(self, node_id: int, failed_peer: int) -> int:
+        """A uniformly chosen reachable peer other than the failed one;
+        the failed peer when nobody else is reachable."""
+        candidates = [
+            k
+            for k in range(self.n_nodes)
+            if k not in (node_id, failed_peer) and self.network.can_reach(node_id, k)
+        ]
+        if not candidates:
+            return failed_peer
+        return self.rng.choice(candidates)
 
     def run_full_mesh_round(self) -> RoundStats:
         """One round where every ordered pair synchronizes once.
@@ -199,18 +311,25 @@ class ClusterSimulation:
         self.history.append(stats)
         return stats
 
-    def _run_session(self, node_id: int, peer: int, stats: RoundStats) -> SyncStats:
+    def _run_session(
+        self, node_id: int, peer: int, stats: RoundStats, attempt: int = 1
+    ) -> SyncStats:
         stats.sessions += 1
         if not self.network.can_reach(node_id, peer):
             stats.failed_sessions += 1
+            self._schedule_retry(node_id, peer, attempt)
             return SyncStats(failed=True)
         try:
             session = self.nodes[node_id].sync_with(self.nodes[peer], self.network)
         except (NodeDownError, MessageLostError):
-            stats.failed_sessions += 1
-            return SyncStats(failed=True)
+            # Protocols report faults through SyncStats; this safety net
+            # covers ad-hoc ProtocolNode implementations that let the
+            # transport's exceptions escape (phase unknown).
+            session = SyncStats(failed=True)
         if session.failed:
             stats.failed_sessions += 1
+            self._note_abort(node_id, peer, session, stats)
+            self._schedule_retry(node_id, peer, attempt)
             return session
         # Successful sessions (including you-are-current answers) build
         # Theorem 5's transitive coverage: data and knowledge flowed.
@@ -220,6 +339,45 @@ class ClusterSimulation:
         stats.items_transferred += session.items_transferred
         stats.conflicts += session.conflicts
         return session
+
+    def _schedule_retry(self, node_id: int, peer: int, attempt: int) -> None:
+        if attempt >= self.retry_policy.max_attempts:
+            return
+        self._pending_retries.append(
+            _PendingRetry(
+                node_id,
+                peer,
+                attempt + 1,
+                self.round_no + self.retry_policy.backoff_for(attempt),
+            )
+        )
+
+    def _note_abort(
+        self, node_id: int, peer: int, session: SyncStats, stats: RoundStats
+    ) -> None:
+        """Account an aborted session and verify neither endpoint was
+        left inconsistent by the interruption."""
+        phase = session.aborted_phase
+        if phase is not None and session.messages > 0:
+            # The session moved at least one message before dying —
+            # that traffic bought no state change.  (A dead peer caught
+            # at connect time is a failed session, not an aborted one:
+            # no message left, nothing was wasted.)
+            self.network_counters.sessions_aborted += 1
+            self.network_counters.bytes_wasted_in_aborted_sessions += (
+                session.bytes_sent
+            )
+            stats.bytes_wasted += session.bytes_sent
+            key = phase.counter_name()
+            self.network_counters.bump(key)
+            stats.aborted_by_phase[phase.value] = (
+                stats.aborted_by_phase.get(phase.value, 0) + 1
+            )
+        if self.check_invariants_on_fault:
+            for endpoint in (node_id, peer):
+                check = getattr(self.nodes[endpoint], "check_invariants", None)
+                if check is not None:
+                    check()
 
     # -- convergence ---------------------------------------------------------------
 
@@ -236,7 +394,7 @@ class ClusterSimulation:
         """True while the failure plan still has unfired events — a
         scheduled recovery can reintroduce divergence, so convergence
         must not be declared before the plan has fully played out."""
-        return any(e.at_round > self.round_no for e in self.failure_plan.events)
+        return self.failure_plan.pending_after(self.round_no)
 
     def run_until_converged(self, max_rounds: int = 1000, quiesce: bool = True) -> int:
         """Run rounds until live replicas converge; returns the count.
@@ -266,8 +424,9 @@ class ClusterSimulation:
 
         table = Table(
             title,
-            ["round", "sessions", "identical", "failed", "items moved",
-             "conflicts", "msgs", "bytes", "stale pairs"],
+            ["round", "sessions", "identical", "failed", "retried",
+             "items moved", "conflicts", "msgs", "bytes", "wasted bytes",
+             "stale pairs"],
         )
         for stats in self.history:
             table.add_row([
@@ -275,10 +434,12 @@ class ClusterSimulation:
                 stats.sessions,
                 stats.identical_sessions,
                 stats.failed_sessions,
+                stats.retried_sessions,
                 stats.items_transferred,
                 stats.conflicts,
                 stats.messages,
                 stats.bytes_sent,
+                stats.bytes_wasted,
                 stats.stale_pairs if stats.stale_pairs is not None else "-",
             ])
         return table

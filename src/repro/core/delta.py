@@ -185,6 +185,9 @@ class DeltaEpidemicNode(EpidemicNode):
             name: OpHistory(self.n_nodes, history_limit)
             for name in self.store.names()
         }
+        # Items whole-value-adopted during the current accept_propagation
+        # whose history floors still await the session-final DBVV.
+        self._pending_floor_items: set[str] = set()
         self.deltas_shipped = 0
         self.full_copies_shipped = 0
 
@@ -226,15 +229,29 @@ class DeltaEpidemicNode(EpidemicNode):
             entry.value = payload.value
             # Whole-value adoption leaves a gap: the operations between
             # the old and new IVV were never seen, so the history must
-            # not serve chains spanning them.  The safe floor is this
-            # node's DBVV *after* rule 3 absorbs the adoption — computed
-            # here directly since the caller absorbs afterwards:
-            # V[k] + (v_new[k](x) - v_old[k](x)) bounds the m of every
-            # k-originated update the adopted copy reflects.
-            bound = self.dbvv.copy()
-            for k, (new_count, old_count) in enumerate(zip(payload.ivv, entry.ivv)):
-                bound.increment(k, new_count - old_count)
-            history.forget_through(bound)
+            # not serve chains spanning them.  The floor must rise to
+            # the node's DBVV once the *whole session* is absorbed —
+            # not a per-item estimate.  (An earlier version raised it to
+            # ``V[k] + (v_new[k](x) - v_old[k](x))``, but ``m`` values
+            # are origin-level sequence numbers counting updates across
+            # *all* items, so the per-item IVV delta under-bounds them
+            # and the history could later serve a chain spanning the
+            # gap — exactly the divergence DeltaChainError guards
+            # against.)  The entries are invalid immediately, so clear
+            # them now against the mid-session DBVV (a safe partial
+            # floor) and finish in :meth:`_after_accept_installs` when
+            # the DBVV reflects every payload of the session.
+            history.forget_through(self.dbvv)
+            self._pending_floor_items.add(entry.name)
+
+    def _after_accept_installs(self) -> None:
+        # The session's DBVV is final: by the prefix property it bounds
+        # the origin-level seqno of every update any adopted copy
+        # reflects, so it is a correct — and the tightest safe — floor
+        # for the histories gapped by whole-value adoptions above.
+        for name in self._pending_floor_items:
+            self._histories[name].forget_through(self.dbvv)
+        self._pending_floor_items.clear()
 
     def _on_full_rewrite(self, entry: DataItem) -> None:
         # Called after resolve_conflict finished all bookkeeping, so

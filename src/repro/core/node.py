@@ -176,6 +176,13 @@ class EpidemicNode:
         """Called when an item's value is administratively rewritten
         (conflict resolution) — any per-item derived state is stale."""
 
+    def _after_accept_installs(self) -> None:
+        """Called once per ``accept_propagation``, after every payload
+        has been installed and the DBVV/log bookkeeping for the session
+        is complete, but before intra-node propagation.  Variants that
+        defer per-item bookkeeping until the session's DBVV is final
+        (the operation-shipping mode's history floors) hook in here."""
+
     def after_restore(self) -> None:
         """Called by the persistence layer after rebuilding a node from
         a snapshot; derived (non-persisted) state must assume nothing
@@ -302,6 +309,7 @@ class EpidemicNode:
                 component.add(item, seqno, self.counters)
                 outcome.records_appended += 1
 
+        self._after_accept_installs()
         intra = self.intra_node_propagation(outcome.adopted)
         return outcome, intra
 
@@ -537,7 +545,8 @@ class EpidemicNode:
         self.log.check_invariants()
         self.aux_log.check_invariants()
         any_conflict = any(entry.in_conflict for entry in self.store)
-        if not any_conflict and self.conflicts.count == 0:
+        frozen = any_conflict or self.conflicts.count != 0
+        if not frozen:
             sums = [0] * self.n_nodes
             for entry in self.store:
                 for k, count in enumerate(entry.ivv):
@@ -546,11 +555,23 @@ class EpidemicNode:
                 f"DBVV {list(self.dbvv)} != IVV column sums {sums} "
                 f"on node {self.node_id}"
             )
-        for k in range(self.n_nodes):
-            component = self.log[k]
-            assert component.max_seqno <= max(self.dbvv[k], component.max_seqno), (
-                "unreachable"
-            )
+        # Every log record's seqno must be covered by the DBVV: a record
+        # ``(item, m)`` in origin k's log component asserts "I reflect
+        # origin k's first m updates", so ``m <= dbvv[k]`` always — the
+        # log is written only after the DBVV advances (rules 1 and 3).
+        # Unresolved conflicts exempt the check: a conflict freezes DBVV
+        # accounting for the affected origins (dropped adoptions leave
+        # the DBVV legitimately behind the record stream), so the bound
+        # is only enforced on conflict-free replicas, where a violation
+        # means the log claims updates the DBVV never accounted.
+        if not frozen:
+            for k in range(self.n_nodes):
+                component = self.log[k]
+                assert component.max_seqno <= self.dbvv[k], (
+                    f"log component {k} claims seqno {component.max_seqno} "
+                    f"but DBVV[{k}] is only {self.dbvv[k]} "
+                    f"on node {self.node_id}"
+                )
         for record in self.aux_log:
             assert record.item in self.store
 

@@ -13,8 +13,14 @@ from repro.core.conflicts import ConflictReporter
 from repro.core.delta import DeltaEpidemicNode
 from repro.core.messages import OutOfBoundReply, PropagationReply, YouAreCurrent
 from repro.core.node import EpidemicNode
-from repro.errors import NodeDownError
-from repro.interfaces import ProtocolNode, SyncStats, Transport
+from repro.errors import MessageLostError, NodeDownError
+from repro.interfaces import (
+    ProtocolNode,
+    SessionPhase,
+    SyncStats,
+    Transport,
+    open_session,
+)
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
@@ -76,21 +82,39 @@ class DBVVProtocolNode(ProtocolNode):
         # Count via the conflict reporter, not the counters sink — the
         # sink may be the do-nothing NULL_COUNTERS.
         before = self.node.conflicts.count
+        session = open_session(transport, self.node_id, peer.node_id)
         try:
+            # Phase machine (request-sent → source-processed →
+            # reply-in-flight → reply-applied): each advance marks the
+            # milestone *entered*, so a fault during the next message
+            # is attributed to the exact point the session died at.
+            session.advance(SessionPhase.REQUEST_SENT)
             request = transport.deliver(
                 self.node_id, peer.node_id, self.node.make_propagation_request()
             )
+            session.advance(SessionPhase.SOURCE_PROCESSED)
             answer = peer.node.send_propagation(request)
+            session.advance(SessionPhase.REPLY_IN_FLIGHT)
             answer = transport.deliver(peer.node_id, self.node_id, answer)
-        except NodeDownError:
+        except (NodeDownError, MessageLostError):
             stats.failed = True
+            stats.aborted_phase = session.phase
+            stats.messages = session.messages
+            stats.bytes_sent = session.bytes_sent
             return stats
+        finally:
+            session.close()
         stats.messages = 2
+        stats.bytes_sent = session.bytes_sent
         if isinstance(answer, YouAreCurrent):
             stats.identical = True
             return stats
         assert isinstance(answer, PropagationReply)
+        # The reply is fully received before any state changes, so a
+        # mid-session fault can never leave a half-applied adoption —
+        # accept_propagation itself is local and atomic.
         outcome, _intra = self.node.accept_propagation(answer)
+        session.advance(SessionPhase.REPLY_APPLIED)
         stats.items_transferred = len(outcome.adopted)
         stats.conflicts = self.node.conflicts.count - before
         return stats
@@ -102,15 +126,26 @@ class DBVVProtocolNode(ProtocolNode):
     ) -> bool:
         """Fetch ``item`` from ``peer`` immediately (paper section 5.2);
         True when a newer copy was installed as the auxiliary copy.
+
+        A failed fetch — dead peer, *or* a message dropped by a lossy
+        network — reports False; out-of-bound copying is best-effort,
+        and an escaping :class:`MessageLostError` would wrongly abort
+        whatever user operation triggered the fetch.
         """
+        session = open_session(transport, self.node_id, peer.node_id)
         try:
+            session.advance(SessionPhase.REQUEST_SENT)
             request = transport.deliver(
                 self.node_id, peer.node_id, self.node.make_oob_request(item)
             )
+            session.advance(SessionPhase.SOURCE_PROCESSED)
             reply = peer.node.handle_oob_request(request)
+            session.advance(SessionPhase.REPLY_IN_FLIGHT)
             reply = transport.deliver(peer.node_id, self.node_id, reply)
-        except NodeDownError:
+        except (NodeDownError, MessageLostError):
             return False
+        finally:
+            session.close()
         assert isinstance(reply, OutOfBoundReply)
         return self.node.accept_oob(reply)
 

@@ -30,9 +30,15 @@ from dataclasses import dataclass
 
 from repro.baselines.oracle import OraclePushNode
 from repro.cluster.convergence import GroundTruth
-from repro.cluster.failures import CrashAfterPartialPush
+from repro.cluster.failures import (
+    CrashAfterPartialPush,
+    CrashMidSession,
+    FailurePlan,
+    Recover,
+)
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.scheduler import RandomSelector
+from repro.cluster.simulation import ClusterSimulation, RetryPolicy
 from repro.core.protocol import DBVVProtocolNode
 from repro.errors import MessageLostError, NodeDownError
 from repro.experiments.common import make_items
@@ -41,7 +47,17 @@ from repro.metrics.reporting import Table
 from repro.metrics.staleness import StalenessSummary, summarize_staleness
 from repro.substrate.operations import Put
 
-__all__ = ["E5Result", "run_oracle_arm", "run_dbvv_arm", "run", "report", "main"]
+__all__ = [
+    "E5Result",
+    "run_oracle_arm",
+    "run_dbvv_arm",
+    "run_interrupted_dbvv_arm",
+    "run_interrupted_oracle_arm",
+    "run",
+    "run_interrupted",
+    "report",
+    "main",
+]
 
 DEFAULT_NODES = 6
 DEFAULT_ITEMS = 50
@@ -179,6 +195,136 @@ def run_dbvv_arm(
     )
 
 
+def _run_interrupted(
+    protocol: str,
+    factory,
+    presync,
+    n_nodes: int,
+    n_items: int,
+    updates: int,
+    reached: int,
+    repair_round: int,
+    max_rounds: int,
+    seed: int,
+    retry_policy: RetryPolicy,
+) -> E5Result:
+    """Shared driver for the interrupted-session arms.
+
+    The scripted failure is finer-grained than the classic arms': the
+    originator is taken down *between two messages of a session* during
+    round 1 (:class:`CrashMidSession`), so one session dies half-done —
+    its traffic is wasted, and the simulation's retry layer (if enabled)
+    re-attempts it, falling back to an alternate peer since the original
+    endpoint is now dead.
+    """
+    items = make_items(n_items)
+    plan = FailurePlan([
+        CrashMidSession(node=0, at_round=1, after_messages=1),
+        Recover(node=0, at_round=repair_round),
+    ])
+    sim = ClusterSimulation(
+        factory=factory,
+        n_nodes=n_nodes,
+        items=items,
+        failure_plan=plan,
+        retry_policy=retry_policy,
+        seed=seed,
+    )
+    for idx, item in enumerate(items[:updates]):
+        sim.apply_update(0, item, Put(f"{item}:crashed-batch-{idx}".encode()))
+    # Partial distribution before the fatal round, as in the classic
+    # arms: `reached` peers already hold the new data.
+    presync(sim, reached)
+
+    survivors = [sim.nodes[k] for k in range(1, n_nodes)]
+    survivors_current: int | None = None
+    all_current: int | None = None
+    for round_no in range(1, max_rounds + 1):
+        sim.run_round()
+        sim.ground_truth.observe(float(round_no), sim.nodes)
+        if (
+            survivors_current is None
+            and sim.ground_truth.stale_pairs(survivors) == 0
+        ):
+            survivors_current = round_no
+        if all_current is None and sim.ground_truth.fully_current(sim.nodes):
+            all_current = round_no
+    return E5Result(
+        protocol=protocol,
+        survivors_current_round=survivors_current,
+        all_current_round=all_current,
+        repair_round=repair_round,
+        staleness=summarize_staleness(sim.ground_truth.samples),
+        stale_series=tuple(
+            sample.stale_pairs for sample in sim.ground_truth.samples
+        ),
+    )
+
+
+def run_interrupted_dbvv_arm(
+    n_nodes: int = DEFAULT_NODES,
+    n_items: int = DEFAULT_ITEMS,
+    updates: int = DEFAULT_UPDATES,
+    reached: int = DEFAULT_REACHED,
+    repair_round: int = DEFAULT_REPAIR_ROUND,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    seed: int = 11,
+    retry_policy: RetryPolicy | None = None,
+) -> E5Result:
+    """DBVV with a mid-session crash: the session that dies half-way is
+    retried (alternate peer — the originator is dead), and the survivors
+    that already pulled the data forward it epidemically, so everyone
+    alive re-converges long before the originator is repaired."""
+    if retry_policy is None:
+        retry_policy = RetryPolicy(max_attempts=3, alternate_peer=True)
+
+    def factory(node_id: int, counters: OverheadCounters) -> DBVVProtocolNode:
+        return DBVVProtocolNode(
+            node_id, n_nodes, make_items(n_items), counters=counters
+        )
+
+    def presync(sim: ClusterSimulation, n_reached: int) -> None:
+        for peer in range(1, n_reached + 1):
+            sim.nodes[peer].sync_with(sim.nodes[0], sim.network)
+
+    return _run_interrupted(
+        "dbvv (interrupted)", factory, presync, n_nodes, n_items, updates,
+        reached, repair_round, max_rounds, seed, retry_policy,
+    )
+
+
+def run_interrupted_oracle_arm(
+    n_nodes: int = DEFAULT_NODES,
+    n_items: int = DEFAULT_ITEMS,
+    updates: int = DEFAULT_UPDATES,
+    reached: int = DEFAULT_REACHED,
+    repair_round: int = DEFAULT_REPAIR_ROUND,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    seed: int = 11,
+    retry_policy: RetryPolicy | None = None,
+) -> E5Result:
+    """Oracle push with the same mid-session crash and the same retry
+    policy: retries cannot help, because the unreached peers' missing
+    records exist *only* on the dead originator (no forwarding), so the
+    survivors stay stale until the repair round."""
+    if retry_policy is None:
+        retry_policy = RetryPolicy(max_attempts=3, alternate_peer=True)
+
+    def factory(node_id: int, counters: OverheadCounters) -> OraclePushNode:
+        return OraclePushNode(
+            node_id, n_nodes, make_items(n_items), counters=counters
+        )
+
+    def presync(sim: ClusterSimulation, n_reached: int) -> None:
+        for peer in range(1, n_reached + 1):
+            sim.nodes[0].sync_with(sim.nodes[peer], sim.network)
+
+    return _run_interrupted(
+        "oracle-push (interrupted)", factory, presync, n_nodes, n_items,
+        updates, reached, repair_round, max_rounds, seed, retry_policy,
+    )
+
+
 def run(
     repair_round: int = DEFAULT_REPAIR_ROUND,
     seed: int = 11,
@@ -186,6 +332,18 @@ def run(
     return [
         run_oracle_arm(repair_round=repair_round),
         run_dbvv_arm(repair_round=repair_round, seed=seed),
+    ]
+
+
+def run_interrupted(
+    repair_round: int = DEFAULT_REPAIR_ROUND,
+    seed: int = 11,
+) -> list[E5Result]:
+    """The interrupted-session arms: a scripted mid-session crash plus
+    session retry, same failure script for both protocols."""
+    return [
+        run_interrupted_oracle_arm(repair_round=repair_round, seed=seed),
+        run_interrupted_dbvv_arm(repair_round=repair_round, seed=seed),
     ]
 
 
@@ -221,6 +379,19 @@ def main() -> None:
             width=60,
             title="E5 — stale (node,item) pairs per round "
                   f"(repair at round {results[0].repair_round})",
+            y_label="stale pairs",
+        )
+    )
+    print()
+    interrupted = run_interrupted()
+    report(interrupted).print()
+    print(
+        line_chart(
+            {r.protocol: list(r.stale_series) for r in interrupted},
+            height=8,
+            width=60,
+            title="E5 (interrupted sessions) — mid-session crash with "
+                  "retry; stale pairs per round",
             y_label="stale pairs",
         )
     )

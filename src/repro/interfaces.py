@@ -23,6 +23,7 @@ transport for unit tests and examples that don't need a network.
 from __future__ import annotations
 
 import abc
+import enum
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
@@ -30,12 +31,103 @@ from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
 __all__ = [
+    "SessionPhase",
+    "SessionScope",
+    "open_session",
     "SyncStats",
     "Transport",
     "DirectTransport",
     "DIRECT_TRANSPORT",
     "ProtocolNode",
 ]
+
+
+class SessionPhase(enum.Enum):
+    """Named milestones of one synchronization session.
+
+    A session is no longer atomic: it advances message by message, and a
+    fault (crash of either endpoint, a lost message) can interrupt it at
+    any point.  The phase names record *how far the session got* when it
+    was interrupted, which is what the failure experiments and the
+    abort-accounting counters report on.
+
+    The canonical single-exchange sequence (the DBVV pull, Figs. 2–3)::
+
+        STARTED → REQUEST_SENT → SOURCE_PROCESSED → REPLY_IN_FLIGHT
+                → REPLY_APPLIED
+
+    Multi-exchange protocols (per-item-vv and Lotus run a second
+    fetch/ship exchange) cycle back through REQUEST_SENT /
+    REPLY_IN_FLIGHT for each additional exchange; the phase at abort is
+    still exact — it names the message that was in flight.
+    """
+
+    STARTED = "started"
+    REQUEST_SENT = "request-sent"
+    SOURCE_PROCESSED = "source-processed"
+    REPLY_IN_FLIGHT = "reply-in-flight"
+    REPLY_APPLIED = "reply-applied"
+
+    def counter_name(self) -> str:
+        """The ``OverheadCounters.extra`` key aborts at this phase use."""
+        return "sessions_aborted_at_" + self.value.replace("-", "_")
+
+
+class SessionScope:
+    """Progress record of one session: current phase plus the traffic
+    the session has generated so far.
+
+    The initiating protocol obtains one via :func:`open_session` and
+    calls :meth:`advance` at each milestone; the transport (when it is a
+    :class:`~repro.cluster.network.SimulatedNetwork`) attributes every
+    delivered-or-dropped message to the open scope via
+    :meth:`note_message`, which is what makes
+    ``bytes_wasted_in_aborted_sessions`` attributable.  Always close the
+    scope (``try/finally``) so the transport stops attributing traffic
+    to it.
+    """
+
+    def __init__(self, initiator: int, responder: int):
+        self.initiator = initiator
+        self.responder = responder
+        self.phase = SessionPhase.STARTED
+        self.messages = 0
+        self.bytes_sent = 0
+        self.closed = False
+
+    def advance(self, phase: SessionPhase) -> None:
+        """Record that the session reached ``phase``."""
+        self.phase = phase
+
+    def note_message(self, size: int) -> None:
+        """Attribute one message (delivered or dropped in flight) of
+        ``size`` bytes to this session; called by the transport."""
+        self.messages += 1
+        self.bytes_sent += size
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionScope({self.initiator}->{self.responder}, "
+            f"phase={self.phase.value}, msgs={self.messages})"
+        )
+
+
+def open_session(transport: "Transport", initiator: int, responder: int) -> SessionScope:
+    """Open a session scope on ``transport``.
+
+    Transports that track sessions (the simulated network) expose an
+    ``open_session`` method and get the scope registered for message
+    attribution and scripted mid-session faults; plain transports
+    (:class:`DirectTransport`, ad-hoc test doubles) fall back to a
+    detached scope that still records phases for the caller.
+    """
+    opener = getattr(transport, "open_session", None)
+    if opener is not None:
+        return opener(initiator, responder)
+    return SessionScope(initiator, responder)
 
 
 @dataclass
@@ -47,6 +139,9 @@ class SyncStats:
     ``conflicts``         — conflicts detected during the session.
     ``messages`` / ``bytes_sent`` — traffic this session generated.
     ``failed``            — the session aborted (peer down / message lost).
+    ``aborted_phase``     — how far an aborted session got (None while
+                            ``failed`` is False, or when the failure was
+                            detected before any message moved).
     """
 
     identical: bool = False
@@ -55,6 +150,7 @@ class SyncStats:
     messages: int = 0
     bytes_sent: int = 0
     failed: bool = False
+    aborted_phase: SessionPhase | None = None
 
 
 class _SizedMessage(Protocol):

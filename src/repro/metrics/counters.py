@@ -37,6 +37,18 @@ baselines, and the experiment harness:
     Conflicts flagged to the conflict reporter.
 ``aux_records_replayed``
     Auxiliary-log operations re-applied by IntraNodePropagation.
+``sessions_retried``
+    Synchronization sessions re-attempted by the retry layer after a
+    mid-session fault.
+``sessions_aborted``
+    Sessions interrupted by a fault after at least the attempt to send a
+    message (a dead peer detected at connect time is a failed session
+    but not an *aborted* one — no work was wasted).
+``bytes_wasted_in_aborted_sessions``
+    Bytes that left a sender during sessions that were later aborted —
+    traffic spent without any state change (the retry layer's cost
+    denominator).  Per-phase abort breakdowns land in ``extra`` under
+    ``sessions_aborted_at_<phase>`` keys.
 """
 
 from __future__ import annotations
@@ -64,6 +76,9 @@ class OverheadCounters:
     bytes_sent: int = 0
     conflicts_detected: int = 0
     aux_records_replayed: int = 0
+    sessions_retried: int = 0
+    sessions_aborted: int = 0
+    bytes_wasted_in_aborted_sessions: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:

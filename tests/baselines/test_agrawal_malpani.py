@@ -78,10 +78,11 @@ class TestVectorExchange:
         b = AgrawalMalpaniNode(1, n, ITEMS, vector_exchange_every=3)
         a.user_update("item-0", Put(b"v"))
         network.set_down(1)
-        from repro.errors import NodeDownError
+        from repro.interfaces import SessionPhase
 
-        with pytest.raises(NodeDownError):
-            a.sync_with(b, network)          # push lost; cursor advanced
+        stats = a.sync_with(b, network)      # push lost; cursor advanced
+        assert stats.failed
+        assert stats.aborted_phase is SessionPhase.REQUEST_SENT
         network.set_up(1)
         stats = a.sync_with(b, network)      # push has nothing fresh
         assert stats.items_transferred == 0

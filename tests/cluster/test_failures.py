@@ -5,12 +5,18 @@ import pytest
 from repro.cluster.failures import (
     Crash,
     CrashAfterPartialPush,
+    CrashMidSession,
     FailurePlan,
     HealEvent,
+    LossyWindow,
     PartitionEvent,
     Recover,
 )
 from repro.cluster.network import SimulatedNetwork
+from repro.core.messages import YouAreCurrent
+from repro.errors import MessageLostError
+
+MSG = YouAreCurrent(0)
 
 
 class TestFailurePlan:
@@ -55,6 +61,107 @@ class TestFailurePlan:
         fired = plan.apply_round(1, net)
         assert len(fired) == 2
         assert not net.is_up(0) and not net.is_up(1)
+
+
+class TestCrashedThroughEdgeCases:
+    def test_same_round_crash_then_recover_applies_in_list_order(self):
+        plan = FailurePlan([
+            Crash(node=0, at_round=2),
+            Recover(node=0, at_round=2),
+        ])
+        # Both fire at round 2 in list order: crash, then recover — the
+        # node ends round 2's start up.
+        assert plan.crashed_through(2) == set()
+        assert plan.crashed_through(3) == set()
+
+    def test_same_round_recover_then_crash_leaves_node_down(self):
+        plan = FailurePlan([
+            Crash(node=0, at_round=1),
+            Recover(node=0, at_round=3),
+            Crash(node=0, at_round=3),
+        ])
+        assert plan.crashed_through(2) == {0}
+        # Round 3: recover fires first (list order), then the crash.
+        assert plan.crashed_through(3) == {0}
+
+    def test_mid_session_crash_counts_from_the_next_round(self):
+        plan = FailurePlan([
+            CrashMidSession(node=1, at_round=4),
+            Recover(node=1, at_round=9),
+        ])
+        # The crash fires *during* round 4, so at the start of round 4
+        # the node is still up; from round 5 on it is down.
+        assert plan.crashed_through(4) == set()
+        assert plan.crashed_through(5) == {1}
+        assert plan.crashed_through(8) == {1}
+        assert plan.crashed_through(9) == set()
+
+    def test_mid_session_crash_same_round_as_plain_crash(self):
+        plan = FailurePlan([
+            CrashMidSession(node=0, at_round=2),
+            Crash(node=1, at_round=2),
+        ])
+        # The start-of-round crash is visible at round 2; the
+        # mid-session one only afterwards.
+        assert plan.crashed_through(2) == {1}
+        assert plan.crashed_through(3) == {0, 1}
+
+
+class TestMidSessionEvents:
+    def test_crash_mid_session_arms_the_network(self):
+        plan = FailurePlan([CrashMidSession(node=1, at_round=2)])
+        net = SimulatedNetwork(2)
+        plan.apply_round(1, net)
+        assert net.armed_fault_count() == 0
+        plan.apply_round(2, net)
+        assert net.armed_fault_count() == 1
+        assert net.is_up(1)          # armed, not yet fired
+        net.open_session(0, 1)
+        net.deliver(0, 1, MSG)
+        assert not net.is_up(1)      # fired between messages
+
+    def test_lossy_window_opens_and_closes(self):
+        plan = FailurePlan([
+            LossyWindow(rate=0.999, at_round=2, until_round=4, seed=5),
+        ])
+        net = SimulatedNetwork(2)
+        plan.apply_round(1, net)
+        net.deliver(0, 1, MSG)                   # before the window
+        fired = plan.apply_round(2, net)
+        assert fired == [plan.events[0]]
+        with pytest.raises(MessageLostError):
+            net.deliver(0, 1, MSG)               # inside the window
+        plan.apply_round(3, net)                 # window still open
+        assert net.loss_rate == 0.999
+        plan.apply_round(4, net)                 # closes
+        assert net.loss_rate == 0.0
+        net.deliver(0, 1, MSG)
+
+    def test_lossy_window_validates_bounds(self):
+        with pytest.raises(ValueError):
+            LossyWindow(rate=0.5, at_round=3, until_round=3)
+
+    def test_crash_mid_session_validates_message_count(self):
+        # Caught at construction, not rounds later when the plan arms
+        # the network.
+        with pytest.raises(ValueError):
+            CrashMidSession(node=0, at_round=1, after_messages=0)
+
+    def test_pending_after_sees_window_close(self):
+        plan = FailurePlan([
+            LossyWindow(rate=0.5, at_round=2, until_round=6),
+        ])
+        assert plan.pending_after(2)
+        assert plan.pending_after(5)
+        assert not plan.pending_after(6)
+
+    def test_pending_after_sees_scheduled_recovery(self):
+        plan = FailurePlan([
+            Crash(node=0, at_round=1),
+            Recover(node=0, at_round=4),
+        ])
+        assert plan.pending_after(3)
+        assert not plan.pending_after(4)
 
 
 class TestCrashAfterPartialPush:

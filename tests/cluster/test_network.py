@@ -140,6 +140,130 @@ class TestLoss:
         assert outcomes == outcomes2
 
 
+class TestDropAccounting:
+    def test_lost_message_is_charged_before_the_drop(self):
+        """Regression: a dropped message left the sender — its bytes are
+        real traffic and must hit the global and per-link counters, the
+        same as a delivered one, *plus* the drop counters."""
+        counters = OverheadCounters()
+        # loss_rate ~ 1 is disallowed; 0.999 with any seed drops the
+        # first message with near certainty — assert it actually did.
+        net = SimulatedNetwork(2, counters=counters, loss_rate=0.999,
+                               rng=random.Random(7))
+        with pytest.raises(MessageLostError):
+            net.deliver(0, 1, MSG)
+        assert counters.messages_sent == 1
+        assert counters.bytes_sent == MSG.wire_size()
+        assert net.link_stats(0, 1).messages == 1
+        assert net.link_stats(0, 1).bytes == MSG.wire_size()
+        assert net.link_stats(0, 1).dropped == 1
+        assert net.messages_dropped == 1
+        assert net.bytes_dropped == MSG.wire_size()
+
+    def test_connect_time_failure_still_free(self):
+        counters = OverheadCounters()
+        net = SimulatedNetwork(2, counters=counters)
+        net.set_down(1)
+        with pytest.raises(NodeDownError):
+            net.deliver(0, 1, MSG)
+        assert counters.messages_sent == 0
+        assert net.link_stats(0, 1).messages == 0
+
+
+class TestLossWindows:
+    def test_set_and_restore_loss_rate(self):
+        net = SimulatedNetwork(2)
+        net.set_loss_rate(0.999, rng=random.Random(3))
+        with pytest.raises(MessageLostError):
+            net.deliver(0, 1, MSG)
+        net.restore_loss_rate()
+        assert net.loss_rate == 0.0
+        net.deliver(0, 1, MSG)  # no loss after the window closes
+
+    def test_restore_returns_to_constructor_rate(self):
+        net = SimulatedNetwork(2, loss_rate=0.25, rng=random.Random(1))
+        net.set_loss_rate(0.75)
+        assert net.loss_rate == 0.75
+        net.restore_loss_rate()
+        assert net.loss_rate == 0.25
+
+    def test_nonzero_rate_requires_rng(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(ValueError):
+            net.set_loss_rate(0.5)
+
+    def test_rate_bounds_enforced(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(ValueError):
+            net.set_loss_rate(1.0, rng=random.Random(0))
+
+
+class TestSessionScopes:
+    def test_session_attributes_messages_and_bytes(self):
+        net = SimulatedNetwork(2)
+        scope = net.open_session(0, 1)
+        net.deliver(0, 1, MSG)
+        net.deliver(1, 0, MSG)
+        assert scope.messages == 2
+        assert scope.bytes_sent == 2 * MSG.wire_size()
+
+    def test_closed_session_stops_attribution(self):
+        net = SimulatedNetwork(2)
+        scope = net.open_session(0, 1)
+        net.deliver(0, 1, MSG)
+        scope.close()
+        net.deliver(0, 1, MSG)
+        assert scope.messages == 1
+
+
+class TestScriptedFaults:
+    def test_armed_drop_kills_the_nth_session_message(self):
+        net = SimulatedNetwork(2)
+        net.arm_message_drop(nth_message=2)
+        net.open_session(0, 1)
+        net.deliver(0, 1, MSG)               # message 1 passes
+        with pytest.raises(MessageLostError):
+            net.deliver(1, 0, MSG)           # message 2 dropped
+        assert net.armed_fault_count() == 0
+        # One-shot: a later session is unaffected.
+        net.open_session(0, 1)
+        net.deliver(0, 1, MSG)
+        net.deliver(1, 0, MSG)
+
+    def test_armed_drop_ignores_sessionless_traffic(self):
+        net = SimulatedNetwork(2)
+        net.arm_message_drop(nth_message=1)
+        net.deliver(0, 1, MSG)               # no session open: passes
+        assert net.armed_fault_count() == 1
+
+    def test_mid_session_crash_fires_between_messages(self):
+        net = SimulatedNetwork(2)
+        net.arm_mid_session_crash(1, after_messages=1)
+        net.open_session(0, 1)
+        net.deliver(0, 1, MSG)               # delivered; then node 1 dies
+        assert not net.is_up(1)
+        with pytest.raises(NodeDownError):
+            net.deliver(1, 0, MSG)           # next message finds it dead
+        assert net.armed_fault_count() == 0
+
+    def test_mid_session_crash_waits_for_a_session_with_the_node(self):
+        net = SimulatedNetwork(3)
+        net.arm_mid_session_crash(2, after_messages=1)
+        net.open_session(0, 1)
+        net.deliver(0, 1, MSG)
+        assert net.is_up(2)                  # uninvolved session: no fire
+        net.open_session(0, 2)
+        net.deliver(0, 2, MSG)
+        assert not net.is_up(2)
+
+    def test_arm_validation(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(ValueError):
+            net.arm_mid_session_crash(0, after_messages=0)
+        with pytest.raises(ValueError):
+            net.arm_message_drop(nth_message=0)
+
+
 class TestDynamicGrowth:
     def test_add_node_joins_up_and_reachable(self):
         net = SimulatedNetwork(2)
@@ -150,12 +274,30 @@ class TestDynamicGrowth:
         net.deliver(0, 2, MSG)
         net.deliver(2, 1, MSG)
 
-    def test_add_node_joins_default_partition_group(self):
+    def test_add_node_during_partition_is_isolated(self):
+        """Regression: a node added while a partition is active used to
+        be dumped into group 0 unconditionally, silently making it
+        reachable from one arbitrary side.  It must start in a fresh
+        singleton group — unreachable from *every* existing group —
+        until the partition heals."""
         net = SimulatedNetwork(3)
         net.partition([[0, 1], [2]])
         new_id = net.add_node()
-        # The newcomer lands in group 0 — reachable from nodes 0 and 1.
-        assert net.can_reach(0, new_id)
+        assert not net.can_reach(0, new_id)
+        assert not net.can_reach(1, new_id)
         assert not net.can_reach(2, new_id)
         net.heal()
+        assert net.can_reach(0, new_id)
         assert net.can_reach(2, new_id)
+
+    def test_add_node_without_partition_is_reachable(self):
+        """No partition active: the newcomer joins the single universal
+        group and is immediately reachable."""
+        net = SimulatedNetwork(3)
+        new_id = net.add_node()
+        assert net.can_reach(0, new_id)
+        # Also after a partition came and went (heal resets groups).
+        net.partition([[0, 1], [2, 3]])
+        net.heal()
+        later_id = net.add_node()
+        assert net.can_reach(2, later_id)

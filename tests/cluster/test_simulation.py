@@ -2,9 +2,14 @@
 
 import pytest
 
-from repro.cluster.failures import Crash, FailurePlan, Recover
+from repro.cluster.failures import (
+    Crash,
+    CrashMidSession,
+    FailurePlan,
+    Recover,
+)
 from repro.cluster.scheduler import RingSelector
-from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.simulation import ClusterSimulation, RetryPolicy
 from repro.errors import NodeDownError
 from repro.experiments.common import make_factory, make_items
 from repro.substrate.operations import Put
@@ -114,6 +119,120 @@ class TestFailures:
         stats = sim.run_full_mesh_round()
         assert stats.sessions == 6
         assert sim.converged()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_rounds=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_rounds=3, max_backoff_rounds=2)
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(max_attempts=5, backoff_rounds=1, max_backoff_rounds=4)
+        assert [policy.backoff_for(a) for a in (1, 2, 3, 4)] == [1, 2, 4, 4]
+
+    def test_default_policy_disables_retries(self):
+        assert not RetryPolicy().retries_enabled()
+        plan = FailurePlan([Crash(node=1, at_round=1)])
+        sim = make_sim(n_nodes=3, failure_plan=plan)
+        for _ in range(4):
+            stats = sim.run_round()
+            assert stats.retried_sessions == 0
+        assert sim.network_counters.sessions_retried == 0
+
+    def test_aborted_session_is_retried_after_backoff(self):
+        plan = FailurePlan([
+            Crash(node=2, at_round=1),
+            Recover(node=2, at_round=2),
+        ])
+        sim = make_sim(
+            n_nodes=3,
+            failure_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_rounds=1),
+            selector=RingSelector(),
+        )
+        # Round 1: node 2 is down; with a ring selector node 1 targets
+        # node 2 and fails, scheduling a retry for round 2.
+        stats1 = sim.run_round()
+        assert stats1.failed_sessions > 0
+        stats2 = sim.run_round()
+        assert stats2.retried_sessions == stats1.failed_sessions
+        assert (
+            sim.network_counters.sessions_retried == stats1.failed_sessions
+        )
+
+    def test_retry_respects_max_attempts(self):
+        plan = FailurePlan([Crash(node=2, at_round=1)])  # never recovers
+        sim = make_sim(
+            n_nodes=3,
+            failure_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_rounds=1),
+            selector=RingSelector(),
+        )
+        total_retries = 0
+        for _ in range(6):
+            total_retries += sim.run_round().retried_sessions
+        # Each round node 1's fresh session against dead node 2 earns
+        # exactly one retry (attempt 2 of 2) — never a third attempt, so
+        # retries never exceed one per originating round.
+        assert 0 < total_retries <= 6
+
+    def test_alternate_peer_fallback_reaches_someone_alive(self):
+        plan = FailurePlan([Crash(node=2, at_round=1)])
+        sim = make_sim(
+            n_nodes=3,
+            failure_plan=plan,
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_rounds=1, alternate_peer=True
+            ),
+            selector=RingSelector(),
+        )
+        sim.apply_update(0, ITEMS[0], Put(b"v"))
+        stats1 = sim.run_round()   # node 1 -> dead node 2: fails
+        assert stats1.failed_sessions > 0
+        stats2 = sim.run_round()   # retry redirected to a live peer
+        assert stats2.retried_sessions > 0
+        # The ring still points node 1 at dead node 2 (one fresh failure
+        # per round), but the redirected retry hit a live peer and added
+        # no failure of its own.
+        assert stats2.failed_sessions == stats1.failed_sessions
+
+    def test_mid_session_crash_aborts_and_accounts(self):
+        plan = FailurePlan([CrashMidSession(node=2, at_round=2)])
+        sim = make_sim(
+            n_nodes=3,
+            failure_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, alternate_peer=True),
+        )
+        sim.apply_update(2, ITEMS[0], Put(b"payload"))
+        aborted_rounds = [sim.run_round() for _ in range(3)]
+        counters = sim.network_counters
+        assert counters.sessions_aborted >= 1
+        assert counters.bytes_wasted_in_aborted_sessions > 0
+        phase_keys = [
+            k for k in counters.extra if k.startswith("sessions_aborted_at_")
+        ]
+        assert phase_keys, "abort must be attributed to a phase"
+        assert any(r.bytes_wasted > 0 for r in aborted_rounds)
+        assert any(r.aborted_by_phase for r in aborted_rounds)
+
+    def test_invariants_checked_after_faults(self):
+        """check_invariants_on_fault is on by default and must actually
+        run — give it a scenario with aborted DBVV sessions and make
+        sure nothing trips (the deep assertion that faults never corrupt
+        state lives in the property tests)."""
+        plan = FailurePlan([
+            CrashMidSession(node=0, at_round=1),
+            Recover(node=0, at_round=3),
+        ])
+        sim = make_sim(n_nodes=4, failure_plan=plan)
+        sim.apply_update(0, ITEMS[0], Put(b"v"))
+        for _ in range(5):
+            sim.run_round()
+        assert sim.check_invariants_on_fault
 
 
 class TestAccounting:

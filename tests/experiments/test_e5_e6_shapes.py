@@ -1,7 +1,13 @@
 """Shape assertions for experiments E5 (failure recovery) and E6
 (out-of-bound copying)."""
 
-from repro.experiments.e5_failure_recovery import run_dbvv_arm, run_oracle_arm
+from repro.cluster.simulation import RetryPolicy
+from repro.experiments.e5_failure_recovery import (
+    run_dbvv_arm,
+    run_interrupted_dbvv_arm,
+    run_interrupted_oracle_arm,
+    run_oracle_arm,
+)
 from repro.experiments.e6_out_of_bound import run_episode, run_freshness
 
 
@@ -40,6 +46,42 @@ class TestE5FailureRecovery:
         assert result.staleness.first_stale_time is not None
         assert result.staleness.fresh_time is not None
         assert result.staleness.stale_duration >= 14
+
+
+class TestE5InterruptedSession:
+    def test_dbvv_survivors_reconverge_via_retry_before_repair(self):
+        result = run_interrupted_dbvv_arm(
+            n_nodes=6, n_items=20, updates=4, reached=2,
+            repair_round=10, max_rounds=15, seed=11,
+        )
+        # A session died mid-flight in round 1, but the retry layer plus
+        # epidemic forwarding re-converge the survivors long before the
+        # originator comes back.
+        assert result.survivors_current_round is not None
+        assert result.survivors_current_round < 10
+        assert result.all_current_round is not None
+
+    def test_oracle_survivors_stay_stale_until_repair(self):
+        result = run_interrupted_oracle_arm(
+            n_nodes=6, n_items=20, updates=4, reached=2,
+            repair_round=10, max_rounds=15, seed=11,
+        )
+        # The same retry policy cannot help oracle push: the missing
+        # records live only on the dead originator.
+        assert (
+            result.survivors_current_round is None
+            or result.survivors_current_round >= 10
+        )
+
+    def test_dbvv_arm_works_without_retries_too(self):
+        """The retry layer accelerates recovery but anti-entropy alone
+        still converges — the arm must not depend on retries to finish."""
+        result = run_interrupted_dbvv_arm(
+            n_nodes=6, n_items=20, updates=4, reached=2,
+            repair_round=10, max_rounds=15, seed=11,
+            retry_policy=RetryPolicy(),  # retries disabled
+        )
+        assert result.survivors_current_round is not None
 
 
 class TestE6OutOfBound:
