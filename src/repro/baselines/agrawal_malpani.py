@@ -48,7 +48,7 @@ from repro.substrate.operations import UpdateOperation
 __all__ = ["AMRecord", "AgrawalMalpaniNode"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AMRecord:
     """One disseminated update: LWW-stamped resulting value."""
 
@@ -64,7 +64,7 @@ class AMRecord:
         return 3 * WORD_SIZE + len(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _LogPush:
     source: int
     records: tuple[AMRecord, ...]
@@ -73,7 +73,7 @@ class _LogPush:
         return WORD_SIZE + sum(record.wire_size() for record in self.records)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _VectorExchange:
     """'Here is how many updates per origin I have received.'"""
 
@@ -84,7 +84,7 @@ class _VectorExchange:
         return WORD_SIZE + WORD_SIZE * len(self.received)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _RepairRequest:
     requester: int
     gaps: tuple[tuple[int, int], ...]  # (origin, have-through)

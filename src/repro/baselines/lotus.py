@@ -68,7 +68,7 @@ class _Doc:
         return (self.seqno, self.last_writer)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _PropagationProbe:
     """'Anything changed since you last propagated to me?'"""
 
@@ -78,7 +78,7 @@ class _PropagationProbe:
         return WORD_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _ChangeList:
     """The (name, seqno, writer) list of items modified since the last
     propagation to the requester — empty means 'nothing changed'."""
@@ -90,7 +90,7 @@ class _ChangeList:
         return WORD_SIZE + 3 * WORD_SIZE * len(self.entries)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _DocFetch:
     requester: int
     names: tuple[str, ...]
@@ -99,7 +99,7 @@ class _DocFetch:
         return WORD_SIZE + WORD_SIZE * len(self.names)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _DocShipment:
     source: int
     docs: tuple[tuple[str, bytes, int, int], ...]  # name, value, seqno, writer

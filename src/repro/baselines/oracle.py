@@ -45,7 +45,7 @@ from repro.substrate.operations import UpdateOperation
 __all__ = ["UpdateRecord", "OraclePushNode"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateRecord:
     """One deferred update: the resulting value of ``item``, stamped
     with the originator's update counter (LWW order: (seqno, origin))."""
@@ -62,7 +62,7 @@ class UpdateRecord:
         return 3 * WORD_SIZE + len(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _PushBatch:
     source: int
     records: tuple[UpdateRecord, ...]

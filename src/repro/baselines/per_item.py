@@ -39,7 +39,7 @@ from repro.substrate.operations import UpdateOperation
 __all__ = ["PerItemVVNode"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _IVVListRequest:
     """'Send me all your item version vectors.'"""
 
@@ -49,7 +49,7 @@ class _IVVListRequest:
         return WORD_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _IVVListReply:
     """All N (item, IVV) pairs of the source — the O(N) metadata cost."""
 
@@ -62,7 +62,7 @@ class _IVVListReply:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _ItemFetch:
     """'Ship me these items.'"""
 
@@ -73,7 +73,7 @@ class _ItemFetch:
         return WORD_SIZE + WORD_SIZE * len(self.names)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _ItemShipment:
     """The requested item copies with their IVVs."""
 

@@ -49,7 +49,7 @@ from repro.substrate.operations import UpdateOperation
 __all__ = ["GossipRecord", "WuuBernsteinNode"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipRecord:
     """One logged update: LWW-stamped resulting value."""
 
@@ -65,7 +65,7 @@ class GossipRecord:
         return 3 * WORD_SIZE + len(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _GossipMessage:
     source: int
     time_table: tuple[tuple[int, ...], ...]
@@ -80,7 +80,7 @@ class _GossipMessage:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _GossipRequest:
     """'Gossip to me' — carries nothing but identity; the knowledge
     needed to trim the reply lives in the source's time-table."""

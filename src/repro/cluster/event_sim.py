@@ -25,6 +25,7 @@ from repro.cluster.convergence import GroundTruth, fingerprints_equal
 from repro.cluster.coverage import TransitiveCoverageTracker
 from repro.cluster.events import EventLoop
 from repro.cluster.network import SimulatedNetwork
+from repro.cluster.sanitizer import sanitize_enabled, sanitize_endpoints
 from repro.cluster.scheduler import PeerSelector, RandomSelector
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import ProtocolNode
@@ -71,9 +72,11 @@ class EventDrivenSimulation:
     items: Sequence[str]
     selector: PeerSelector = field(default_factory=RandomSelector)
     schedules: Sequence[NodeSchedule] | None = None
+    sanitize: bool | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
+        self.sanitize = sanitize_enabled(self.sanitize)
         self.rng = random.Random(self.seed)
         self.loop = EventLoop()
         self.network_counters = OverheadCounters()
@@ -126,6 +129,11 @@ class EventDrivenSimulation:
                     self.sessions_failed += 1
                 else:
                     self.coverage.record_session(node_id, peer, time=self.now)
+            finally:
+                if self.sanitize:
+                    sanitize_endpoints(
+                        self.nodes, (node_id, peer), self.network_counters
+                    )
         self._arm_next_session(node_id)
 
     def schedule_update(

@@ -36,8 +36,13 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import MessageLostError, NodeDownError, UnknownNodeError
-from repro.interfaces import SessionScope
+from repro.errors import (
+    InvariantViolation,
+    MessageLostError,
+    NodeDownError,
+    UnknownNodeError,
+)
+from repro.interfaces import SessionScope, _SizedMessage
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 
 __all__ = ["LinkStats", "SimulatedNetwork"]
@@ -242,7 +247,7 @@ class SimulatedNetwork:
 
     # -- delivery ------------------------------------------------------------
 
-    def deliver(self, src: int, dst: int, message):
+    def deliver(self, src: int, dst: int, message: _SizedMessage) -> _SizedMessage:
         """Deliver ``message`` from ``src`` to ``dst``, charging traffic.
 
         Raises :class:`NodeDownError` when either endpoint is down or the
@@ -274,7 +279,11 @@ class SimulatedNetwork:
             self._armed_drops.remove(session.messages)
             self._drop(link, size, src, dst)
         if self.loss_rate > 0.0:
-            assert self.rng is not None
+            if self.rng is None:
+                raise InvariantViolation(
+                    "network has loss_rate > 0 but no RNG; set_loss_rate "
+                    "should have rejected this configuration"
+                )
             if self.rng.random() < self.loss_rate:
                 self._drop(link, size, src, dst)
         # Scripted crash *between* messages: fires after this message

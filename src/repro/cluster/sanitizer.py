@@ -1,0 +1,67 @@
+"""The run-time invariant sanitizer.
+
+PR 1's fault injection proved that the protocol's safety argument —
+DBVV/IVV sum equality, the one-record-per-item log rule, bounded log
+components (DESIGN.md section 6) — is only as good as how often it is
+*checked*.  The sanitizer turns the existing ``check_invariants`` paths
+into a toggleable always-on mode: with it enabled, both endpoints of
+every synchronization session are swept through the full invariant
+suite as soon as the session finishes (successfully or not), so a
+corruption is caught at the session that introduced it rather than
+rounds later at convergence checking.
+
+Enable it per simulation (``ClusterSimulation(..., sanitize=True)``) or
+globally via the environment (``REPRO_SANITIZE=1``); the environment
+toggle is what CI's sanitizer job uses to re-run the tier-1 suite with
+checking on.  Every sweep is counted in
+:attr:`~repro.metrics.counters.OverheadCounters.sanitizer_checks` so
+benchmarks can report the sanitizer's overhead explicitly.
+
+A failed sweep raises :class:`~repro.errors.InvariantViolation` (which
+survives ``python -O`` — see ``docs/DEVELOPING.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.interfaces import ProtocolNode
+from repro.metrics.counters import OverheadCounters
+
+__all__ = ["SANITIZE_ENV_VAR", "sanitize_enabled", "sanitize_endpoints"]
+
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def sanitize_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the sanitizer toggle.
+
+    An explicit ``True``/``False`` wins; ``None`` defers to the
+    ``REPRO_SANITIZE`` environment variable (``1``/``true``/``yes``/``on``,
+    case-insensitive, enable it).
+    """
+    if explicit is not None:
+        return explicit
+    return os.environ.get(SANITIZE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def sanitize_endpoints(
+    nodes: Sequence[ProtocolNode],
+    endpoint_ids: Sequence[int],
+    counters: OverheadCounters,
+) -> None:
+    """Run the full invariant suite on each endpoint that exposes one.
+
+    Protocols without a ``check_invariants`` method (the baselines keep
+    no cross-structure invariants) are skipped silently — the sweep is
+    about the DBVV protocol family's safety argument, not a required
+    part of the :class:`~repro.interfaces.ProtocolNode` contract.
+    """
+    for node_id in endpoint_ids:
+        check = getattr(nodes[node_id], "check_invariants", None)
+        if check is not None:
+            check()
+            counters.sanitizer_checks += 1

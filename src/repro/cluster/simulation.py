@@ -27,15 +27,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:
+    from repro.metrics.reporting import Table
 
 from repro.cluster.convergence import GroundTruth, fingerprints_equal
 from repro.cluster.coverage import TransitiveCoverageTracker
 from repro.cluster.failures import FailurePlan
 from repro.cluster.network import SimulatedNetwork
+from repro.cluster.sanitizer import sanitize_enabled, sanitize_endpoints
 from repro.cluster.scheduler import PeerSelector, RandomSelector
 from repro.errors import MessageLostError, NodeDownError
-from repro.interfaces import ProtocolNode, SessionPhase, SyncStats
+from repro.interfaces import ProtocolNode, SyncStats
 from repro.metrics.counters import OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
@@ -139,6 +143,11 @@ class ClusterSimulation:
         After every faulted session, run ``check_invariants()`` on both
         endpoints that expose it (the DBVV adapters do) — an interrupted
         session must never leave either side in an inconsistent state.
+    sanitize:
+        The run-time invariant sanitizer: run the full invariant suite
+        on both endpoints after *every* session, not just faulted ones
+        (see :mod:`repro.cluster.sanitizer`).  ``None`` (the default)
+        defers to the ``REPRO_SANITIZE`` environment variable.
     seed:
         Seed for the simulation's single RNG.
     """
@@ -150,9 +159,11 @@ class ClusterSimulation:
     failure_plan: FailurePlan = field(default_factory=FailurePlan)
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     check_invariants_on_fault: bool = True
+    sanitize: bool | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
+        self.sanitize = sanitize_enabled(self.sanitize)
         self.rng = random.Random(self.seed)
         self.network_counters = OverheadCounters()
         self.network = SimulatedNetwork(self.n_nodes, counters=self.network_counters)
@@ -326,6 +337,10 @@ class ClusterSimulation:
             # covers ad-hoc ProtocolNode implementations that let the
             # transport's exceptions escape (phase unknown).
             session = SyncStats(failed=True)
+        if self.sanitize:
+            sanitize_endpoints(
+                self.nodes, (node_id, peer), self.network_counters
+            )
         if session.failed:
             stats.failed_sessions += 1
             self._note_abort(node_id, peer, session, stats)
@@ -373,7 +388,9 @@ class ClusterSimulation:
             stats.aborted_by_phase[phase.value] = (
                 stats.aborted_by_phase.get(phase.value, 0) + 1
             )
-        if self.check_invariants_on_fault:
+        # The sanitizer (when on) already swept both endpoints right
+        # after the session; don't run the fault-path sweep twice.
+        if self.check_invariants_on_fault and not self.sanitize:
             for endpoint in (node_id, peer):
                 check = getattr(self.nodes[endpoint], "check_invariants", None)
                 if check is not None:
@@ -418,7 +435,7 @@ class ClusterSimulation:
 
     # -- accounting ------------------------------------------------------------------
 
-    def history_table(self, title: str = "Simulation rounds"):
+    def history_table(self, title: str = "Simulation rounds") -> Table:
         """The per-round stats as a printable/CSV-able report table."""
         from repro.metrics.reporting import Table
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.core.version_vector import VersionVector
+from repro.errors import InvariantViolation
 from repro.substrate.operations import UpdateOperation
 
 __all__ = ["AuxLogRecord", "AuxiliaryLog"]
@@ -162,28 +163,36 @@ class AuxiliaryLog:
         return dropped
 
     def check_invariants(self) -> None:
-        """Assert global/per-item chain consistency (test aid)."""
+        """Verify global/per-item chain consistency; raises
+        :class:`~repro.errors.InvariantViolation` on breakage (survives
+        ``python -O``).  Used by tests and the run-time sanitizer."""
         seen = 0
         per_item_order: dict[str, int] = {}
         node = self._head
         prev: AuxLogRecord | None = None
         while node is not None:
-            assert node.prev is prev, "broken global prev link"
+            if node.prev is not prev:
+                raise InvariantViolation("broken global prev link")
             last_seq = per_item_order.get(node.item)
-            assert last_seq is None or node.seq > last_seq, (
-                f"per-item order violated for {node.item!r}"
-            )
+            if last_seq is not None and node.seq <= last_seq:
+                raise InvariantViolation(
+                    f"per-item order violated for {node.item!r}"
+                )
             per_item_order[node.item] = node.seq
             seen += 1
             prev = node
             node = node.next
-        assert self._tail is prev, "stale global tail"
-        assert seen == self._size, f"size {self._size} != walked {seen}"
+        if self._tail is not prev:
+            raise InvariantViolation("stale global tail")
+        if seen != self._size:
+            raise InvariantViolation(f"size {self._size} != walked {seen}")
         for item, head in self._item_head.items():
-            assert head is not None
+            if head is None:
+                raise InvariantViolation(f"null per-item head for {item!r}")
             walked_tail = head
             while walked_tail.item_next is not None:
                 walked_tail = walked_tail.item_next
-            assert self._item_tail[item] is walked_tail, (
-                f"stale per-item tail for {item!r}"
-            )
+            if self._item_tail[item] is not walked_tail:
+                raise InvariantViolation(
+                    f"stale per-item tail for {item!r}"
+                )

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.items import DataItem
 from repro.core.messages import WORD_SIZE, ItemPayload, vv_wire_size
@@ -65,7 +66,7 @@ class DeltaChainError(ReplicationError):
     property rules out; failing loudly beats silent divergence."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpChainEntry:
     """One remembered update: who originated it, its origin-level
     sequence number (the same ``m`` as the log record), and the
@@ -79,7 +80,7 @@ class OpChainEntry:
         return 2 * WORD_SIZE + self.op.size()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeltaPayload:
     """An item shipped as its missing-operations chain.
 
@@ -110,7 +111,7 @@ class OpHistory:
 
     __slots__ = ("limit", "_entries", "_floor")
 
-    def __init__(self, n_nodes: int, limit: int = DEFAULT_HISTORY_LIMIT):
+    def __init__(self, n_nodes: int, limit: int = DEFAULT_HISTORY_LIMIT) -> None:
         if limit < 0:
             raise ValueError(f"history limit must be >= 0, got {limit}")
         self.limit = limit
@@ -178,7 +179,9 @@ class DeltaEpidemicNode(EpidemicNode):
     prove chain completeness.
     """
 
-    def __init__(self, *args, history_limit: int = DEFAULT_HISTORY_LIMIT, **kwargs):
+    def __init__(
+        self, *args: Any, history_limit: int = DEFAULT_HISTORY_LIMIT, **kwargs: Any
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.history_limit = history_limit
         self._histories: dict[str, OpHistory] = {
@@ -199,7 +202,9 @@ class DeltaEpidemicNode(EpidemicNode):
             OpChainEntry(self.node_id, self.dbvv[self.node_id], op)
         )
 
-    def _payload_for(self, entry: DataItem, remote_dbvv: VersionVector):
+    def _payload_for(
+        self, entry: DataItem, remote_dbvv: VersionVector
+    ) -> DeltaPayload | ItemPayload:
         history = self._histories[entry.name]
         if history.covers(remote_dbvv):
             self.deltas_shipped += 1

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.errors import UnknownNodeError
+from repro.errors import InvariantViolation, UnknownNodeError
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 
 __all__ = ["LogRecord", "LogComponent", "LogVector", "LOG_RECORD_WIRE_SIZE"]
@@ -84,7 +84,7 @@ class LogComponent:
 
     __slots__ = ("origin", "_head", "_tail", "_by_item", "_size")
 
-    def __init__(self, origin: int):
+    def __init__(self, origin: int) -> None:
         self.origin = origin
         self._head: LogRecord | None = None
         self._tail: LogRecord | None = None
@@ -180,10 +180,13 @@ class LogComponent:
         return selected
 
     def check_invariants(self) -> None:
-        """Assert structural invariants; raises AssertionError on breakage.
+        """Verify structural invariants; raises
+        :class:`~repro.errors.InvariantViolation` on breakage (so the
+        checks survive ``python -O``, unlike a bare ``assert``).
 
-        Intended for tests: one record per item, strictly increasing
-        seqnos, pointer map consistent with list membership, size honest.
+        Used by tests and the run-time sanitizer: one record per item,
+        strictly increasing seqnos, pointer map consistent with list
+        membership, size honest.
         """
         seen_items: set[str] = set()
         last_seqno = 0
@@ -191,24 +194,31 @@ class LogComponent:
         prev: LogRecord | None = None
         node = self._head
         while node is not None:
-            assert node.item not in seen_items, (
-                f"duplicate record for item {node.item!r} in L[{self.origin}]"
-            )
+            if node.item in seen_items:
+                raise InvariantViolation(
+                    f"duplicate record for item {node.item!r} in L[{self.origin}]"
+                )
             seen_items.add(node.item)
-            assert node.seqno > last_seqno, (
-                f"non-increasing seqno {node.seqno} after {last_seqno}"
-            )
+            if node.seqno <= last_seqno:
+                raise InvariantViolation(
+                    f"non-increasing seqno {node.seqno} after {last_seqno}"
+                )
             last_seqno = node.seqno
-            assert self._by_item.get(node.item) is node, (
-                f"pointer map stale for item {node.item!r}"
-            )
-            assert node.prev is prev, "broken prev link"
+            if self._by_item.get(node.item) is not node:
+                raise InvariantViolation(
+                    f"pointer map stale for item {node.item!r}"
+                )
+            if node.prev is not prev:
+                raise InvariantViolation("broken prev link")
             prev = node
             count += 1
             node = node.next
-        assert self._tail is prev, "tail pointer stale"
-        assert count == self._size, f"size {self._size} != walked {count}"
-        assert count == len(self._by_item), "pointer map has orphans"
+        if self._tail is not prev:
+            raise InvariantViolation("tail pointer stale")
+        if count != self._size:
+            raise InvariantViolation(f"size {self._size} != walked {count}")
+        if count != len(self._by_item):
+            raise InvariantViolation("pointer map has orphans")
 
     # -- list surgery ------------------------------------------------------
 
@@ -244,7 +254,7 @@ class LogVector:
 
     __slots__ = ("_components",)
 
-    def __init__(self, n_nodes: int):
+    def __init__(self, n_nodes: int) -> None:
         if n_nodes <= 0:
             raise ValueError(f"replica set must be non-empty, got {n_nodes}")
         self._components = [LogComponent(origin) for origin in range(n_nodes)]

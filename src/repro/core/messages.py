@@ -42,7 +42,7 @@ def vv_wire_size(vv: VersionVector) -> int:
     return WORD_SIZE * len(vv)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ItemPayload:
     """One entry of the item set S: a whole item copy plus its IVV.
 
@@ -58,7 +58,7 @@ class ItemPayload:
         return WORD_SIZE + len(self.value) + vv_wire_size(self.ivv)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PropagationRequest:
     """Step 1 of update propagation: recipient ``i`` sends its DBVV."""
 
@@ -69,7 +69,7 @@ class PropagationRequest:
         return WORD_SIZE + vv_wire_size(self.dbvv)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class YouAreCurrent:
     """SendPropagation's constant-size 'no propagation needed' answer."""
 
@@ -79,7 +79,7 @@ class YouAreCurrent:
         return WORD_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PropagationReply:
     """SendPropagation's answer when the recipient is behind.
 
@@ -106,7 +106,7 @@ class PropagationReply:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OutOfBoundRequest:
     """A request to copy one item immediately (paper section 5.2)."""
 
@@ -117,7 +117,7 @@ class OutOfBoundRequest:
         return 2 * WORD_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OutOfBoundReply:
     """The source's current copy of the item — auxiliary if it has one
     (never older than its regular copy), with the matching IVV.  No log

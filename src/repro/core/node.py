@@ -40,7 +40,7 @@ from repro.core.messages import (
     YouAreCurrent,
 )
 from repro.core.version_vector import Ordering, VersionVector
-from repro.errors import UnknownItemError
+from repro.errors import InvariantViolation, UnknownItemError
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
@@ -134,7 +134,11 @@ class EpidemicNode:
         """
         entry = self.store[item]
         if entry.has_auxiliary:
-            assert entry.aux_ivv is not None and entry.aux_value is not None
+            if entry.aux_ivv is None or entry.aux_value is None:
+                raise InvariantViolation(
+                    f"item {item!r} claims an auxiliary copy but its "
+                    "auxiliary value/IVV is missing"
+                )
             self.aux_log.append(item, entry.aux_ivv, op)
             entry.aux_value = op.apply(entry.aux_value)
             entry.aux_ivv.increment(self.node_id)
@@ -384,7 +388,11 @@ class EpidemicNode:
         # Auxiliary log drained for this item: drop the auxiliary copy
         # once the regular copy has caught up (Fig. 4 defers conflict
         # detection here to AcceptPropagation).
-        assert entry.aux_ivv is not None
+        if entry.aux_ivv is None:
+            raise InvariantViolation(
+                f"auxiliary replay reached item {entry.name!r} without an "
+                "auxiliary IVV"
+            )
         self.counters.vv_comparisons += 1
         if entry.ivv.dominates_or_equal(entry.aux_ivv):
             entry.drop_auxiliary()
@@ -551,10 +559,11 @@ class EpidemicNode:
             for entry in self.store:
                 for k, count in enumerate(entry.ivv):
                     sums[k] += count
-            assert sums == list(self.dbvv), (
-                f"DBVV {list(self.dbvv)} != IVV column sums {sums} "
-                f"on node {self.node_id}"
-            )
+            if sums != list(self.dbvv):
+                raise InvariantViolation(
+                    f"DBVV {list(self.dbvv)} != IVV column sums {sums} "
+                    f"on node {self.node_id}"
+                )
         # Every log record's seqno must be covered by the DBVV: a record
         # ``(item, m)`` in origin k's log component asserts "I reflect
         # origin k's first m updates", so ``m <= dbvv[k]`` always — the
@@ -567,13 +576,17 @@ class EpidemicNode:
         if not frozen:
             for k in range(self.n_nodes):
                 component = self.log[k]
-                assert component.max_seqno <= self.dbvv[k], (
-                    f"log component {k} claims seqno {component.max_seqno} "
-                    f"but DBVV[{k}] is only {self.dbvv[k]} "
-                    f"on node {self.node_id}"
-                )
+                if component.max_seqno > self.dbvv[k]:
+                    raise InvariantViolation(
+                        f"log component {k} claims seqno {component.max_seqno} "
+                        f"but DBVV[{k}] is only {self.dbvv[k]} "
+                        f"on node {self.node_id}"
+                    )
         for record in self.aux_log:
-            assert record.item in self.store
+            if record.item not in self.store:
+                raise InvariantViolation(
+                    f"auxiliary log references unknown item {record.item!r}"
+                )
 
     def __repr__(self) -> str:
         return (

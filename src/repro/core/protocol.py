@@ -13,7 +13,7 @@ from repro.core.conflicts import ConflictReporter
 from repro.core.delta import DeltaEpidemicNode
 from repro.core.messages import OutOfBoundReply, PropagationReply, YouAreCurrent
 from repro.core.node import EpidemicNode
-from repro.errors import MessageLostError, NodeDownError
+from repro.errors import MessageLostError, NodeDownError, ProtocolStateError
 from repro.interfaces import (
     ProtocolNode,
     SessionPhase,
@@ -109,7 +109,8 @@ class DBVVProtocolNode(ProtocolNode):
         if isinstance(answer, YouAreCurrent):
             stats.identical = True
             return stats
-        assert isinstance(answer, PropagationReply)
+        if not isinstance(answer, PropagationReply):
+            raise ProtocolStateError("PropagationReply", answer)
         # The reply is fully received before any state changes, so a
         # mid-session fault can never leave a half-applied adoption —
         # accept_propagation itself is local and atomic.
@@ -146,7 +147,8 @@ class DBVVProtocolNode(ProtocolNode):
             return False
         finally:
             session.close()
-        assert isinstance(reply, OutOfBoundReply)
+        if not isinstance(reply, OutOfBoundReply):
+            raise ProtocolStateError("OutOfBoundReply", reply)
         return self.node.accept_oob(reply)
 
     # -- introspection -------------------------------------------------------

@@ -66,6 +66,32 @@ class TokenHeldError(ReplicationError):
         self.requester = requester
 
 
+class InvariantViolation(ReplicationError, AssertionError):
+    """A protocol invariant did not hold — the replica is corrupt.
+
+    Raised by the ``check_invariants`` paths (and the run-time sanitizer
+    built on them) instead of a bare ``assert`` so the checks survive
+    ``python -O``.  Subclasses :class:`AssertionError` as well, because an
+    invariant violation *is* an assertion failure — existing handlers and
+    tests that expect ``AssertionError`` keep working.
+    """
+
+
+class ProtocolStateError(ReplicationError, TypeError):
+    """A protocol exchange produced a message of an impossible type —
+    e.g. ``SendPropagation`` answering an out-of-bound request.  Used for
+    explicit type narrowing where a bare ``assert isinstance(...)`` would
+    silently vanish under ``python -O``.
+    """
+
+    def __init__(self, expected: str, got: object):
+        super().__init__(
+            f"protocol exchange expected {expected}, got {type(got).__name__}"
+        )
+        self.expected = expected
+        self.got = got
+
+
 class NodeDownError(ReplicationError):
     """A message was sent to a crashed server."""
 

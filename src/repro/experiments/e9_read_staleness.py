@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.cluster.event_sim import EventDrivenSimulation, NodeSchedule
 from repro.core.protocol import DBVVProtocolNode
+from repro.errors import ProtocolStateError
 from repro.experiments.common import make_items
 from repro.metrics.reporting import Table
 from repro.workload.generators import ReadEvent, ReadWriteMix
@@ -96,7 +97,8 @@ def run_arm(
             def do_read(event=event):
                 nonlocal reads, stale, hot_reads, stale_hot, fetches
                 node = sim.nodes[event.node]
-                assert isinstance(node, DBVVProtocolNode)
+                if not isinstance(node, DBVVProtocolNode):
+                    raise ProtocolStateError("DBVVProtocolNode", node)
                 if oob_hot_reads and event.item in hot_items:
                     # Fetch from the item's single writer — the replica
                     # that is always current for it (a real deployment
@@ -104,7 +106,8 @@ def run_arm(
                     donor_id = mix._writer.owner_of(event.item)
                     if donor_id != event.node:
                         donor = sim.nodes[donor_id]
-                        assert isinstance(donor, DBVVProtocolNode)
+                        if not isinstance(donor, DBVVProtocolNode):
+                            raise ProtocolStateError("DBVVProtocolNode", donor)
                         node.fetch_out_of_bound(event.item, donor, sim.network)
                         fetches += 1
                 value = node.read(event.item)

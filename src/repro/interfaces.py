@@ -87,7 +87,7 @@ class SessionScope:
     to it.
     """
 
-    def __init__(self, initiator: int, responder: int):
+    def __init__(self, initiator: int, responder: int) -> None:
         self.initiator = initiator
         self.responder = responder
         self.phase = SessionPhase.STARTED
@@ -177,7 +177,7 @@ class DirectTransport:
     un-networked unit tests can assert on message economics.
     """
 
-    def __init__(self, counters: OverheadCounters = NULL_COUNTERS):
+    def __init__(self, counters: OverheadCounters = NULL_COUNTERS) -> None:
         self.counters = counters
 
     def deliver(self, src: int, dst: int, message: _SizedMessage) -> _SizedMessage:

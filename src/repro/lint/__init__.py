@@ -1,0 +1,55 @@
+"""Protocol-aware static analysis for the epidemic-replication codebase.
+
+Generic linters know nothing about DBVV dominance, the one-record-per-
+item log rule, or the determinism contract the experiments depend on.
+This package is an AST-based checker for exactly those protocol-shaped
+bug classes — each rule encodes a failure mode this repository has
+actually had (see ``docs/DEVELOPING.md`` for the catalogue):
+
+==  ======================  ==================================================
+ID  name                    guards against
+==  ======================  ==================================================
+R1  invariant-assert        bare ``assert`` invariants that vanish under -O
+R2  lost-message-handling   catching ``NodeDownError`` but not
+                            ``MessageLostError`` (the PR 1 escape)
+R3  determinism             unseeded randomness / wall-clock time / unordered
+                            set iteration in simulation code
+R4  encapsulation           mutation of DBVV / IVV / log-vector internals
+                            outside ``repro.core``
+R5  tautological-invariant  self-referential ``check_invariants`` comparisons
+                            (the fixed ``max_seqno <= max(dbvv[k],
+                            max_seqno)`` tautology)
+R6  frozen-message          message dataclasses that are not frozen+slotted,
+                            so session replay under retry could alias state
+==  ======================  ==================================================
+
+Run it over the tree with ``python -m repro.lint src tests benchmarks``.
+Suppress a finding on one line with ``# lint: skip=<ID>`` (comma-
+separated for several) and a whole file with ``# lint: skip-file``;
+every suppression should carry a justifying comment.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    FileScope,
+    LintRule,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+    make_scope,
+)
+from repro.lint.rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "FileScope",
+    "LintRule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "make_scope",
+    "rules_by_id",
+]

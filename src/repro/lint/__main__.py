@@ -1,0 +1,78 @@
+"""Command-line entry point: ``python -m repro.lint src tests benchmarks``.
+
+Exit status 0 when the tree is clean, 1 when any rule fires (or a file
+fails to parse), 2 on usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import ALL_RULES, rules_by_id
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Protocol-aware static analysis for the epidemic-replication "
+            "codebase (rules R1-R6; see docs/DEVELOPING.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.name:<24}{rule.summary}")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.lint src tests)")
+
+    if args.select:
+        ids = [token.strip() for token in args.select.split(",") if token.strip()]
+        try:
+            rules = rules_by_id(*ids)
+        except KeyError as exc:
+            parser.error(f"unknown rule id: {exc.args[0]}")
+    else:
+        rules = ALL_RULES
+
+    violations, files_checked = lint_paths(args.paths, rules)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            f"{len(violations)} violation(s) in {files_checked} file(s) checked",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"clean: {files_checked} file(s) checked", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

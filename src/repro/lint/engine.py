@@ -1,0 +1,226 @@
+"""The lint engine: file discovery, scoping, rule dispatch, suppression.
+
+The engine is deliberately small: it parses each file once with
+:mod:`ast`, classifies the file into a *scope* (which part of the tree
+it belongs to — ``repro.core``, ``repro.cluster``, tests, ...), asks
+every registered rule that applies to that scope for violations, and
+filters out findings suppressed by an inline pragma.
+
+Scoping is path-based and uses the *last* ``src/repro`` marker in the
+path, so fixture files under ``tests/lint/fixtures/src/repro/...`` are
+classified exactly like the real module they imitate — that is how the
+fixture tests exercise path-scoped rules without touching real code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "FileScope",
+    "LintRule",
+    "Violation",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "make_scope",
+]
+
+#: Directory names never walked by default: generated trees, caches, and
+#: the lint fixture corpus (fixtures contain deliberate violations; the
+#: fixture tests lint them explicitly via :func:`lint_file`).
+EXCLUDED_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "fixtures"}
+)
+
+_PRAGMA_LINE = re.compile(r"#\s*lint:\s*skip=([A-Za-z0-9_,\s]+)")
+_PRAGMA_FILE = re.compile(r"#\s*lint:\s*skip-file\b")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and what to do about it."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class FileScope:
+    """Where a file sits in the tree, for rule applicability decisions.
+
+    ``package`` is the path split below the last ``src/`` marker whose
+    next segment is ``repro`` (e.g. ``('repro', 'core', 'node.py')``),
+    or ``None`` for files outside the package (tests, benchmarks,
+    examples).
+    """
+
+    posix: str
+    package: tuple[str, ...] | None
+
+    @property
+    def in_src(self) -> bool:
+        """True for files that are part of the ``repro`` package."""
+        return self.package is not None
+
+    def in_subpackage(self, *names: str) -> bool:
+        """True when the file lives in one of the named subpackages
+        (``core``, ``cluster``, ...) of ``repro``."""
+        return (
+            self.package is not None
+            and len(self.package) >= 2
+            and self.package[1] in names
+        )
+
+    @property
+    def filename(self) -> str:
+        return self.posix.rsplit("/", 1)[-1]
+
+
+class LintRule:
+    """Base class for one checkable rule.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` restricts the rule to the part of the tree where
+    its invariant is meaningful (a rule about protocol internals has no
+    business flagging an example script).
+    """
+
+    #: Stable identifier used in reports and ``# lint: skip=`` pragmas.
+    rule_id: str = "R0"
+    #: Short kebab-case name shown by ``--list-rules``.
+    name: str = "abstract"
+    #: One-line description of what the rule guards against.
+    summary: str = ""
+
+    def applies_to(self, scope: FileScope) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, scope: FileScope) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, scope: FileScope, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a violation anchored at ``node``."""
+        return Violation(
+            self.rule_id,
+            scope.posix,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            message,
+        )
+
+
+def make_scope(path: str | Path) -> FileScope:
+    """Classify ``path``; see :class:`FileScope` for the semantics."""
+    posix = Path(path).as_posix()
+    parts = posix.split("/")
+    package: tuple[str, ...] | None = None
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] == "src" and parts[i + 1] == "repro":
+            package = tuple(parts[i + 1 :])
+            break
+    return FileScope(posix, package)
+
+
+def _suppressed_rules(line: str) -> frozenset[str]:
+    match = _PRAGMA_LINE.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        token.strip() for token in match.group(1).split(",") if token.strip()
+    )
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    rules: Sequence[LintRule],
+    scope: FileScope | None = None,
+) -> list[Violation]:
+    """Lint one file's text; ``scope`` defaults to :func:`make_scope`.
+
+    A file that does not parse yields a single pseudo-violation with
+    rule id ``PARSE`` — a broken file must fail the lint run, not slip
+    through unchecked.
+    """
+    if scope is None:
+        scope = make_scope(path)
+    lines = source.splitlines()
+    for line in lines[:5]:
+        if _PRAGMA_FILE.search(line):
+            return []
+    try:
+        tree = ast.parse(source, filename=scope.posix)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                "PARSE",
+                scope.posix,
+                exc.lineno or 1,
+                (exc.offset or 0) + 1,
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: list[Violation] = []
+    for rule in rules:
+        if rule.applies_to(scope):
+            findings.extend(rule.check(tree, scope))
+    kept: list[Violation] = []
+    for violation in findings:
+        line_text = lines[violation.line - 1] if violation.line <= len(lines) else ""
+        if violation.rule_id in _suppressed_rules(line_text):
+            continue
+        kept.append(violation)
+    kept.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return kept
+
+
+def lint_file(path: str | Path, rules: Sequence[LintRule]) -> list[Violation]:
+    """Lint one file from disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path, rules)
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand the given files/directories into a sorted list of ``.py``
+    files, skipping :data:`EXCLUDED_DIR_NAMES` during directory walks
+    (a fixture file named explicitly is still linted — the fixture
+    tests rely on that).
+    """
+    collected: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                relative = candidate.relative_to(path)
+                if any(part in EXCLUDED_DIR_NAMES for part in relative.parts[:-1]):
+                    continue
+                collected.add(candidate)
+        elif path.suffix == ".py":
+            collected.add(path)
+    return sorted(collected)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[LintRule]
+) -> tuple[list[Violation], int]:
+    """Lint every python file under ``paths``; returns the violations
+    and the number of files checked."""
+    files = collect_files(paths)
+    violations: list[Violation] = []
+    for path in files:
+        violations.extend(lint_file(path, rules))
+    return violations, len(files)

@@ -1,0 +1,43 @@
+"""Rule registry.
+
+Each module under this package implements one rule; ``ALL_RULES`` is
+the canonical ordered registry the CLI and the fixture tests run.  To
+add a rule: write ``rN_<name>.py`` with a :class:`~repro.lint.engine.
+LintRule` subclass, document the historical failure it guards against
+in its module docstring and in ``docs/DEVELOPING.md``, add a violating
++ clean fixture pair under ``tests/lint/fixtures/``, and append an
+instance here.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintRule
+from repro.lint.rules.r1_invariant_asserts import InvariantAssertRule
+from repro.lint.rules.r2_fault_handling import LostMessageHandlingRule
+from repro.lint.rules.r3_determinism import DeterminismRule
+from repro.lint.rules.r4_encapsulation import EncapsulationRule
+from repro.lint.rules.r5_tautology import TautologicalInvariantRule
+from repro.lint.rules.r6_frozen_messages import FrozenMessageRule
+
+__all__ = ["ALL_RULES", "rules_by_id"]
+
+#: The canonical rule set, in rule-id order.
+ALL_RULES: tuple[LintRule, ...] = (
+    InvariantAssertRule(),
+    LostMessageHandlingRule(),
+    DeterminismRule(),
+    EncapsulationRule(),
+    TautologicalInvariantRule(),
+    FrozenMessageRule(),
+)
+
+
+def rules_by_id(*ids: str) -> tuple[LintRule, ...]:
+    """The subset of :data:`ALL_RULES` with the given ids, in registry
+    order; unknown ids raise ``KeyError``."""
+    known = {rule.rule_id for rule in ALL_RULES}
+    for rule_id in ids:
+        if rule_id not in known:
+            raise KeyError(rule_id)
+    wanted = set(ids)
+    return tuple(rule for rule in ALL_RULES if rule.rule_id in wanted)

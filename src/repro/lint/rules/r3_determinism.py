@@ -1,0 +1,147 @@
+"""R3 — nondeterminism in simulation code.
+
+**Historical hazard.**  Every experiment's claim rests on "a simulation
+is a pure function of its configuration and seed" (see
+``cluster/simulation.py``).  One call to the module-level ``random``
+functions (which share one process-global, OS-seeded RNG), one read of
+the wall clock, or one iteration over a ``set`` whose order leaks into
+protocol state, and a failing run can no longer be replayed — which is
+how the unseeded-randomness hazards of PR 1's fault-injection work were
+found.
+
+**Rule.**  Inside ``src/repro``:
+
+* no module-level ``random.*`` calls (``random.random()``,
+  ``random.choice()``, ...) and no ``from random import <function>`` —
+  all randomness flows through an *injected, seeded*
+  ``random.Random(seed)``;
+* ``random.Random()`` must be given an explicit seed;
+* no wall-clock reads (``time.time()``, ``time.monotonic()``,
+  ``time.perf_counter()`` and their ``_ns`` variants) — simulated time
+  comes from :mod:`repro.substrate.clock`;
+* no iteration over a bare ``set``/``frozenset`` expression and no
+  ``hash()`` of one — iteration order depends on the per-process hash
+  seed for strings; sort it or keep a list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileScope, LintRule, Violation
+
+__all__ = ["DeterminismRule"]
+
+_WALL_CLOCK_FUNCS = frozenset(
+    {
+        "time",
+        "monotonic",
+        "perf_counter",
+        "time_ns",
+        "monotonic_ns",
+        "perf_counter_ns",
+    }
+)
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """A set display, a set comprehension, or a set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class DeterminismRule(LintRule):
+    rule_id = "R3"
+    name = "determinism"
+    summary = (
+        "simulation code must use injected seeded RNGs and simulated "
+        "clocks, never global random/time or set iteration order"
+    )
+
+    def applies_to(self, scope: FileScope) -> bool:
+        return scope.in_src
+
+    def check(self, tree: ast.Module, scope: FileScope) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, scope)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(node, scope)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expression(node.iter):
+                    yield self.violation(
+                        scope,
+                        node.iter,
+                        "iterating a set: order depends on the per-process "
+                        "hash seed; sort it or keep a list",
+                    )
+
+    def _check_call(self, node: ast.Call, scope: FileScope) -> Iterator[Violation]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module, attr = func.value.id, func.attr
+            if module == "random":
+                if attr == "Random":
+                    if not node.args and not node.keywords:
+                        yield self.violation(
+                            scope,
+                            node,
+                            "random.Random() without a seed is OS-seeded; "
+                            "pass an explicit seed so runs are replayable",
+                        )
+                elif attr != "SystemRandom":
+                    yield self.violation(
+                        scope,
+                        node,
+                        f"random.{attr}() uses the shared process-global "
+                        "RNG; use an injected seeded random.Random instead",
+                    )
+            elif module == "time" and attr in _WALL_CLOCK_FUNCS:
+                yield self.violation(
+                    scope,
+                    node,
+                    f"time.{attr}() reads the wall clock; simulation time "
+                    "comes from repro.substrate.clock",
+                )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "hash"
+            and len(node.args) == 1
+            and _is_set_expression(node.args[0])
+        ):
+            yield self.violation(
+                scope,
+                node,
+                "hashing a set of strings is hash-seed dependent; hash a "
+                "sorted tuple instead",
+            )
+
+    def _check_import(
+        self, node: ast.ImportFrom, scope: FileScope
+    ) -> Iterator[Violation]:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in ("Random", "SystemRandom"):
+                    yield self.violation(
+                        scope,
+                        node,
+                        f"`from random import {alias.name}` imports a "
+                        "shared-global-RNG function; inject a seeded "
+                        "random.Random instead",
+                    )
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_FUNCS:
+                    yield self.violation(
+                        scope,
+                        node,
+                        f"`from time import {alias.name}` pulls in the wall "
+                        "clock; simulation time comes from "
+                        "repro.substrate.clock",
+                    )

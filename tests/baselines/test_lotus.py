@@ -1,6 +1,5 @@
 """Unit tests for the Lotus Notes baseline (paper section 8.1)."""
 
-import pytest
 
 from repro.baselines.lotus import LotusNode
 from repro.interfaces import DirectTransport

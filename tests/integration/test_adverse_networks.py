@@ -19,7 +19,6 @@ from repro.errors import MessageLostError, NodeDownError
 from repro.experiments.common import make_factory, make_items
 from repro.substrate.operations import Put
 from repro.workload.generators import SingleWriterWorkload
-from repro.workload.traces import Trace
 
 ITEMS = make_items(40)
 

@@ -28,7 +28,7 @@ from hypothesis import strategies as st
 
 from repro.cluster.network import SimulatedNetwork
 from repro.core.protocol import DBVVProtocolNode
-from repro.errors import NodeDownError
+from repro.errors import MessageLostError, NodeDownError
 from repro.metrics.counters import OverheadCounters
 from repro.substrate.operations import Append
 
@@ -66,7 +66,7 @@ class EpidemicMachine(RuleBasedStateMachine):
             return
         try:
             self.nodes[dst].sync_with(self.nodes[src], self.network)
-        except NodeDownError:
+        except (NodeDownError, MessageLostError):
             pass
 
     @rule(dst=node_ids, src=node_ids, item_idx=item_ids)

@@ -1,0 +1,26 @@
+"""R2 clean counterparts: every sanctioned way to handle both faults."""
+
+from repro.errors import MessageLostError, NodeDownError, ReplicationError
+
+
+def pull_tuple(nodes, dst, src, network):
+    try:
+        nodes[dst].sync_with(nodes[src], network)
+    except (NodeDownError, MessageLostError):
+        pass
+
+
+def pull_sibling(nodes, dst, src, network):
+    try:
+        nodes[dst].sync_with(nodes[src], network)
+    except NodeDownError:
+        pass
+    except MessageLostError:
+        pass
+
+
+def pull_base_class(nodes, dst, src, network):
+    try:
+        nodes[dst].sync_with(nodes[src], network)
+    except ReplicationError:
+        pass

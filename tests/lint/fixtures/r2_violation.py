@@ -1,0 +1,14 @@
+"""R2 fixture: catches NodeDownError but lets MessageLostError escape.
+
+This is the exact shape of the PR 1 bug: best-effort code written for a
+crash-only world, run against a lossy network.
+"""
+
+from repro.errors import NodeDownError
+
+
+def pull(nodes, dst, src, network):
+    try:
+        nodes[dst].sync_with(nodes[src], network)
+    except NodeDownError:
+        pass

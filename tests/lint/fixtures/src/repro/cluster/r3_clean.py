@@ -1,0 +1,22 @@
+"""R3 clean counterpart: injected seeded RNG, simulated clock, sorted sets."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def jitter(rng):
+    return rng.random()
+
+
+def now(clock):
+    return clock.now()
+
+
+def stable_order(node_ids):
+    order = []
+    for node_id in sorted({2, 0, 1}):
+        order.append(node_id)
+    return order

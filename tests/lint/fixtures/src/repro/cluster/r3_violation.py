@@ -1,0 +1,23 @@
+"""R3 fixture: every kind of nondeterminism the rule guards against."""
+
+import random
+import time
+
+
+def jitter():
+    return random.random()
+
+
+def now():
+    return time.time()
+
+
+def unseeded_rng():
+    return random.Random()
+
+
+def leak_set_order(node_ids):
+    order = []
+    for node_id in {2, 0, 1}:
+        order.append(node_id)
+    return order

@@ -1,0 +1,17 @@
+"""R4 clean counterpart: reads are free; writes go through the node API."""
+
+
+def observe(node):
+    return node.dbvv.dominates(node.store["x"].ivv)
+
+
+def update_properly(node, item, op):
+    node.user_update(item, op)
+
+
+def self_mutation_is_fine(vector_owner):
+    class Owner:
+        def bump(self):
+            self.dbvv.increment(0)
+
+    return Owner

@@ -1,0 +1,17 @@
+"""R4 fixture: driver code mutating core protocol state directly."""
+
+
+def corrupt_vector(node):
+    node.dbvv.increment(0)
+
+
+def corrupt_log(node):
+    node.log.add(0, "x", 1)
+
+
+def replace_ivv(entry, vv):
+    entry.ivv = vv
+
+
+def poke_internals(node):
+    return node.log._by_item

@@ -1,0 +1,18 @@
+"""R6 clean counterpart: frozen+slotted messages; Protocols are exempt."""
+
+from dataclasses import dataclass
+from typing import Protocol
+
+WORD_SIZE = 8
+
+
+@dataclass(frozen=True, slots=True)
+class Probe:
+    src: int
+
+    def wire_size(self) -> int:
+        return WORD_SIZE
+
+
+class SizedMessage(Protocol):
+    def wire_size(self) -> int: ...

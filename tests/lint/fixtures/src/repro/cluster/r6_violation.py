@@ -1,0 +1,26 @@
+"""R6 fixture: wire messages that are mutable or unslotted."""
+
+from dataclasses import dataclass
+
+WORD_SIZE = 8
+
+
+@dataclass
+class MutableProbe:
+    src: int
+
+    def wire_size(self) -> int:
+        return WORD_SIZE
+
+
+@dataclass(frozen=True)
+class FrozenButUnslotted:
+    src: int
+
+    def wire_size(self) -> int:
+        return WORD_SIZE
+
+
+class PlainMessage:
+    def wire_size(self) -> int:
+        return WORD_SIZE

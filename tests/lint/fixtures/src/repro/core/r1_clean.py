@@ -1,0 +1,12 @@
+"""R1 clean counterpart: the invariant raises, so it survives ``-O``."""
+
+from repro.errors import InvariantViolation
+
+
+class Store:
+    def __init__(self) -> None:
+        self.size = 0
+
+    def check_invariants(self) -> None:
+        if self.size < 0:
+            raise InvariantViolation(f"size must be non-negative, got {self.size}")

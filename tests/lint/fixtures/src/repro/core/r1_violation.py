@@ -1,0 +1,13 @@
+"""R1 fixture: a bare assert guarding a protocol invariant in core.
+
+Under ``python -O`` this check vanishes and a corrupt replica keeps
+propagating.
+"""
+
+
+class Store:
+    def __init__(self) -> None:
+        self.size = 0
+
+    def check_invariants(self) -> None:
+        assert self.size >= 0, "size must be non-negative"

@@ -1,0 +1,13 @@
+"""R5 clean counterpart: the comparison the tautology was meant to be."""
+
+from repro.errors import InvariantViolation
+
+
+def check_invariants(dbvv, log):
+    for k in range(len(dbvv)):
+        max_seqno = log.max_seqno(k)
+        if not max_seqno <= dbvv[k]:
+            raise InvariantViolation(
+                f"log component {k} claims seqno {max_seqno} beyond DBVV "
+                f"{dbvv[k]}"
+            )

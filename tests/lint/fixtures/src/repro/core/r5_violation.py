@@ -1,0 +1,14 @@
+"""R5 fixture: the PR 1 tautology, verbatim shape.
+
+``max_seqno <= max(dbvv[k], max_seqno)`` holds for every value of both
+sides, so the invariant it was meant to express could never fail.
+"""
+
+from repro.errors import InvariantViolation
+
+
+def check_invariants(dbvv, log):
+    for k in range(len(dbvv)):
+        max_seqno = log.max_seqno(k)
+        if not max_seqno <= max(dbvv[k], max_seqno):
+            raise InvariantViolation(f"log component {k} claims seqno {max_seqno}")

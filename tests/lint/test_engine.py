@@ -1,0 +1,138 @@
+"""Engine behavior: scoping, suppression pragmas, file discovery, CLI."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import ALL_RULES, lint_source, make_scope
+from repro.lint.engine import collect_files
+from repro.lint.rules import rules_by_id
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BARE_ASSERT = "def f(x):\n    assert x > 0\n"
+
+
+class TestScoping:
+    def test_src_file_classifies_into_package(self):
+        scope = make_scope("src/repro/core/node.py")
+        assert scope.in_src
+        assert scope.package == ("repro", "core", "node.py")
+        assert scope.in_subpackage("core")
+        assert not scope.in_subpackage("cluster")
+
+    def test_test_file_is_outside_package(self):
+        scope = make_scope("tests/core/test_node.py")
+        assert not scope.in_src
+        assert scope.package is None
+
+    def test_last_src_repro_marker_wins(self):
+        scope = make_scope("tests/lint/fixtures/src/repro/core/r1_violation.py")
+        assert scope.in_subpackage("core")
+
+    def test_absolute_paths_classify_too(self):
+        scope = make_scope("/root/repo/src/repro/cluster/network.py")
+        assert scope.in_subpackage("cluster")
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_named_rule(self):
+        source = "def f(x):\n    assert x > 0  # lint: skip=R1\n"
+        assert lint_source(source, "src/repro/core/m.py", ALL_RULES) == []
+
+    def test_line_pragma_with_wrong_rule_does_not_suppress(self):
+        source = "def f(x):\n    assert x > 0  # lint: skip=R3\n"
+        findings = lint_source(source, "src/repro/core/m.py", ALL_RULES)
+        assert any(v.rule_id == "R1" for v in findings)
+
+    def test_line_pragma_suppresses_comma_separated_rules(self):
+        source = "def f(n):\n    n.dbvv.increment(0)  # lint: skip=R4, R3\n"
+        assert lint_source(source, "src/repro/experiments/e.py", ALL_RULES) == []
+
+    def test_skip_file_pragma_suppresses_everything(self):
+        source = "# lint: skip-file\n" + BARE_ASSERT
+        assert lint_source(source, "src/repro/core/m.py", ALL_RULES) == []
+
+    def test_skip_file_pragma_only_honoured_in_header(self):
+        source = BARE_ASSERT + "\n\n\n\n\n# lint: skip-file\n"
+        findings = lint_source(source, "src/repro/core/m.py", ALL_RULES)
+        assert any(v.rule_id == "R1" for v in findings)
+
+
+class TestParseFailures:
+    def test_unparseable_file_reports_parse_violation(self):
+        findings = lint_source("def f(:\n", "src/repro/core/broken.py", ALL_RULES)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "PARSE"
+
+
+class TestFileDiscovery:
+    def test_fixture_directories_are_skipped_in_walks(self):
+        files = collect_files([REPO_ROOT / "tests" / "lint"])
+        assert not any("fixtures" in f.parts for f in files)
+
+    def test_explicitly_named_fixture_file_is_still_collected(self):
+        target = FIXTURES / "src" / "repro" / "core" / "r1_violation.py"
+        assert target in collect_files([target])
+
+    def test_non_python_files_are_ignored(self):
+        assert collect_files([FIXTURES / "README.md"]) == []
+
+
+class TestRegistry:
+    def test_all_six_rules_registered_in_order(self):
+        assert [r.rule_id for r in ALL_RULES] == [f"R{i}" for i in range(1, 7)]
+
+    def test_rule_ids_are_unique_and_documented(self):
+        ids = [r.rule_id for r in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        for rule in ALL_RULES:
+            assert rule.summary, rule.rule_id
+            assert rule.name != "abstract", rule.rule_id
+
+    def test_rules_by_id_selects_subset(self):
+        assert [r.rule_id for r in rules_by_id("R3", "R1")] == ["R1", "R3"]
+
+    def test_rules_by_id_rejects_unknown(self):
+        try:
+            rules_by_id("R99")
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError")
+
+
+class TestCli:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_violating_file_exits_nonzero_and_reports(self):
+        target = "tests/lint/fixtures/src/repro/core/r1_violation.py"
+        result = self._run(target)
+        assert result.returncode == 1
+        assert "R1" in result.stdout
+
+    def test_clean_file_exits_zero(self):
+        result = self._run("tests/lint/fixtures/src/repro/core/r1_clean.py")
+        assert result.returncode == 0
+
+    def test_list_rules(self):
+        result = self._run("--list-rules")
+        assert result.returncode == 0
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in result.stdout
+
+    def test_select_limits_rules(self):
+        target = "tests/lint/fixtures/src/repro/core/r1_violation.py"
+        result = self._run("--select", "R5", target)
+        assert result.returncode == 0  # R1 violation invisible to R5
+
+    def test_no_paths_is_a_usage_error(self):
+        assert self._run().returncode == 2

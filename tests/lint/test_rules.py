@@ -1,0 +1,137 @@
+"""Fixture-driven tests: each rule catches its violation fixture and
+stays silent on the clean counterpart.
+
+The fixtures live under ``fixtures/src/repro/...`` so the path-based
+scoping classifies them like the real modules they imitate; clean
+fixtures must be clean under *all* rules, which keeps one rule's "good"
+example from tripping another rule unnoticed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, lint_file, lint_source, make_scope
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> (violating fixture, minimum expected hits of that rule)
+VIOLATION_FIXTURES = {
+    "R1": (FIXTURES / "src/repro/core/r1_violation.py", 1),
+    "R2": (FIXTURES / "r2_violation.py", 1),
+    "R3": (FIXTURES / "src/repro/cluster/r3_violation.py", 4),
+    "R4": (FIXTURES / "src/repro/cluster/r4_violation.py", 4),
+    "R5": (FIXTURES / "src/repro/core/r5_violation.py", 1),
+    "R6": (FIXTURES / "src/repro/cluster/r6_violation.py", 3),
+}
+
+CLEAN_FIXTURES = {
+    "R1": FIXTURES / "src/repro/core/r1_clean.py",
+    "R2": FIXTURES / "r2_clean.py",
+    "R3": FIXTURES / "src/repro/cluster/r3_clean.py",
+    "R4": FIXTURES / "src/repro/cluster/r4_clean.py",
+    "R5": FIXTURES / "src/repro/core/r5_clean.py",
+    "R6": FIXTURES / "src/repro/cluster/r6_clean.py",
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(VIOLATION_FIXTURES))
+def test_rule_catches_its_fixture(rule_id):
+    path, min_hits = VIOLATION_FIXTURES[rule_id]
+    findings = lint_file(path, ALL_RULES)
+    hits = [v for v in findings if v.rule_id == rule_id]
+    assert len(hits) >= min_hits, (
+        f"{rule_id} found {len(hits)} violation(s) in {path.name}, "
+        f"expected >= {min_hits}: {[v.render() for v in findings]}"
+    )
+
+
+@pytest.mark.parametrize("rule_id", sorted(VIOLATION_FIXTURES))
+def test_violation_fixtures_trip_only_their_own_rule(rule_id):
+    path, _ = VIOLATION_FIXTURES[rule_id]
+    findings = lint_file(path, ALL_RULES)
+    assert findings, f"{path.name} produced no findings at all"
+    foreign = {v.rule_id for v in findings} - {rule_id}
+    assert not foreign, (
+        f"{path.name} trips {foreign} in addition to {rule_id}; keep "
+        "fixtures single-purpose"
+    )
+
+
+@pytest.mark.parametrize("rule_id", sorted(CLEAN_FIXTURES))
+def test_clean_fixture_is_clean_under_all_rules(rule_id):
+    findings = lint_file(CLEAN_FIXTURES[rule_id], ALL_RULES)
+    assert findings == [], [v.render() for v in findings]
+
+
+class TestRegressionShapes:
+    """The two acceptance scenarios from the issue: reintroducing either
+    historical bug into the *real* module shape must fail lint."""
+
+    def test_dropping_message_lost_handler_from_fetch_out_of_bound_fails(self):
+        # fetch_out_of_bound with its MessageLostError handler removed —
+        # the pre-PR-1 shape of src/repro/core/protocol.py.
+        source = (
+            "def fetch_out_of_bound(self, item, peer, transport):\n"
+            "    try:\n"
+            "        reply = transport.deliver(peer.node_id, self.node_id, item)\n"
+            "    except NodeDownError:\n"
+            "        return False\n"
+            "    return True\n"
+        )
+        findings = lint_source(source, "src/repro/core/protocol.py", ALL_RULES)
+        assert any(v.rule_id == "R2" for v in findings)
+
+    def test_reintroducing_the_seqno_tautology_fails(self):
+        # The exact pre-PR-1 tautology from node.check_invariants.
+        source = (
+            "def check_invariants(self):\n"
+            "    for k in range(self.n_nodes):\n"
+            "        max_seqno = self.log.component_max(k)\n"
+            "        if not max_seqno <= max(self.dbvv[k], max_seqno):\n"
+            "            raise InvariantViolation('log component bound')\n"
+        )
+        findings = lint_source(source, "src/repro/core/node.py", ALL_RULES)
+        assert any(v.rule_id == "R5" for v in findings)
+
+    def test_the_fixed_comparison_passes(self):
+        source = (
+            "def check_invariants(self):\n"
+            "    for k in range(self.n_nodes):\n"
+            "        max_seqno = self.log.component_max(k)\n"
+            "        if not max_seqno <= self.dbvv[k]:\n"
+            "            raise InvariantViolation('log component bound')\n"
+        )
+        findings = lint_source(source, "src/repro/core/node.py", ALL_RULES)
+        assert not any(v.rule_id == "R5" for v in findings)
+
+
+class TestRuleScoping:
+    def test_r1_does_not_fire_outside_core_cluster_baselines(self):
+        source = "def f(x):\n    assert x > 0\n"
+        findings = lint_source(source, "src/repro/workload/generators.py", ALL_RULES)
+        assert not any(v.rule_id == "R1" for v in findings)
+        findings = lint_source(source, "tests/core/test_node.py", ALL_RULES)
+        assert not any(v.rule_id == "R1" for v in findings)
+
+    def test_r1_fires_in_all_three_protocol_subpackages(self):
+        source = "def f(x):\n    assert x > 0\n"
+        for module in (
+            "src/repro/core/node.py",
+            "src/repro/cluster/simulation.py",
+            "src/repro/baselines/lotus.py",
+        ):
+            findings = lint_source(source, module, ALL_RULES)
+            assert any(v.rule_id == "R1" for v in findings), module
+
+    def test_r4_exempts_core_and_tests(self):
+        source = "def f(node):\n    node.dbvv.increment(0)\n"
+        assert not lint_source(source, "src/repro/core/protocol.py", ALL_RULES)
+        assert not lint_source(source, "tests/core/test_node.py", ALL_RULES)
+        assert lint_source(source, "src/repro/experiments/e1.py", ALL_RULES)
+
+    def test_fixture_scope_matches_real_module_scope(self):
+        fixture = make_scope(VIOLATION_FIXTURES["R1"][0])
+        real = make_scope("src/repro/core/node.py")
+        assert fixture.package is not None
+        assert fixture.package[:2] == real.package[:2] == ("repro", "core")

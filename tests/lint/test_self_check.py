@@ -1,0 +1,22 @@
+"""The repository must satisfy its own linter.
+
+This is the acceptance gate from the issue: ``python -m repro.lint src
+tests benchmarks`` exits 0 on the final tree.  Run in-process (not via
+subprocess) so a failure prints the actual findings in the assertion
+message.
+"""
+
+from pathlib import Path
+
+from repro.lint import ALL_RULES, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_clean_under_its_own_linter():
+    paths = [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+    violations, files_checked = lint_paths(
+        [p for p in paths if p.is_dir()], ALL_RULES
+    )
+    assert files_checked > 100, "discovery walked too few files; scoping broke?"
+    assert violations == [], "\n" + "\n".join(v.render() for v in violations)

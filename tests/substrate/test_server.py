@@ -6,7 +6,7 @@ from repro.core.protocol import DBVVProtocolNode
 from repro.errors import NodeDownError, TokenHeldError, UnknownItemError
 from repro.substrate.database import DatabaseSchema
 from repro.substrate.operations import Append, Put
-from repro.substrate.server import ReplicaServer, build_cluster
+from repro.substrate.server import build_cluster
 from repro.substrate.tokens import TokenManager
 
 SCHEMA = DatabaseSchema("db", ("x", "y"), 2)

@@ -10,7 +10,7 @@ import pytest
 from repro.core.protocol import DeltaProtocolNode
 from repro.substrate.database import DatabaseSchema
 from repro.substrate.operations import Append, BytePatch, Put
-from repro.substrate.server import ReplicaServer, build_cluster
+from repro.substrate.server import build_cluster
 from repro.substrate.tokens import TokenManager
 from repro.substrate.transactions import TransactionManager
 
