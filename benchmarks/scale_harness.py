@@ -1,0 +1,207 @@
+"""Round-loop scale harness: quantify the de-quadratized round loop.
+
+Before incremental tracking, every simulated round paid O(n·N) twice —
+``converged()`` materialized a full ``state_fingerprint()`` dict per
+node, and the per-round staleness sample re-probed every (node, item)
+pair against the ground truth.  With ``state_version()`` digests and
+the dirty-frontier ``GroundTruth``, both instruments cost O(n) plus the
+size of what actually changed.  This harness measures that difference
+directly: the same burst-then-quiesce workload through the same
+``ClusterSimulation`` round loop, once with ``incremental_tracking``
+on and once with the legacy from-scratch instruments, across a grid of
+cluster sizes n and database sizes N.
+
+The measured loop is the shape of every staleness experiment in the
+repo (E5/E7/E9): per round, ``run_round()`` (which samples
+``stale_pairs``), a ``converged()`` check, and a ground-truth
+``observe()``.  The workload is a conflict-free burst (distinct items,
+one writer each) followed by quiescence; the cluster converges within
+the first ~10 rounds and the remaining rounds measure the steady-state
+instrument overhead that dominates long experiment runs.  Sanitizer
+mode is forced off in both arms so cross-checking never pollutes the
+timings.
+
+``python benchmarks/scale_harness.py`` (or the driver test in
+``test_scale.py``) writes ``BENCH_scale.json`` at the repo root.  Set
+``REPRO_SCALE_SMOKE=1`` for the CI-sized grid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.cluster.simulation import ClusterSimulation  # noqa: E402
+from repro.experiments.common import make_factory, make_items  # noqa: E402
+from repro.substrate.operations import Put  # noqa: E402
+
+__all__ = [
+    "DEFAULT_GRID",
+    "SMOKE_GRID",
+    "active_grid",
+    "active_rounds",
+    "run_config",
+    "run_grid",
+    "write_report",
+]
+
+# (n_nodes, n_items) grid from the issue: n ∈ {8, 32, 128}, N ∈ {100, 1000}.
+DEFAULT_GRID: tuple[tuple[int, int], ...] = (
+    (8, 100),
+    (8, 1000),
+    (32, 100),
+    (32, 1000),
+    (128, 100),
+    (128, 1000),
+)
+DEFAULT_ROUNDS = 200
+
+# CI smoke: small enough to finish in seconds, still exercises both arms.
+SMOKE_GRID: tuple[tuple[int, int], ...] = ((8, 100), (32, 100), (32, 1000))
+SMOKE_ROUNDS = 60
+
+BURST_UPDATES = 64
+REPORT_NAME = "BENCH_scale.json"
+
+
+def smoke_mode() -> bool:
+    return os.environ.get("REPRO_SCALE_SMOKE", "") not in ("", "0")
+
+
+def active_grid() -> tuple[tuple[int, int], ...]:
+    return SMOKE_GRID if smoke_mode() else DEFAULT_GRID
+
+
+def active_rounds() -> int:
+    return SMOKE_ROUNDS if smoke_mode() else DEFAULT_ROUNDS
+
+
+def run_config(
+    n_nodes: int,
+    n_items: int,
+    *,
+    rounds: int,
+    incremental: bool,
+    protocol: str = "dbvv",
+    seed: int = 7,
+) -> dict[str, Any]:
+    """Time the instrumented round loop for one (n, N, mode) cell.
+
+    Returns per-round wall time for the full loop and, separately, for
+    the explicit instruments (``converged()`` + ``observe()``); note
+    ``run_round()`` itself also samples ``stale_pairs`` once per round,
+    so the instrument figure *understates* the legacy mode's total
+    overhead — the comparison is conservative.
+    """
+    items = make_items(n_items)
+    sim = ClusterSimulation(
+        make_factory(protocol, n_nodes, items),
+        n_nodes,
+        items,
+        seed=seed,
+        sanitize=False,  # never let REPRO_SANITIZE poison timings
+        incremental_tracking=incremental,
+    )
+    burst = min(BURST_UPDATES, n_items)
+    for k in range(burst):
+        sim.apply_update(k % n_nodes, items[k], Put(f"b{k}".encode()))
+
+    converge_round = None
+    instrument_s = 0.0
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        sim.run_round()
+        i0 = time.perf_counter()
+        done = sim.converged()
+        sim.ground_truth.observe(float(sim.round_no), sim.nodes)
+        instrument_s += time.perf_counter() - i0
+        if done and converge_round is None:
+            converge_round = sim.round_no
+    total_s = time.perf_counter() - t0
+
+    counters = sim.total_counters
+    return {
+        "mode": "incremental" if incremental else "legacy",
+        "per_round_ms": round(total_s / rounds * 1e3, 4),
+        "rounds_per_sec": round(rounds / total_s, 2),
+        "instrument_per_round_ms": round(instrument_s / rounds * 1e3, 4),
+        "converge_round": converge_round,
+        "staleness_reexaminations": counters.staleness_reexaminations,
+        "messages_sent": counters.messages_sent,
+    }
+
+
+def run_grid(
+    grid: tuple[tuple[int, int], ...] | None = None,
+    *,
+    rounds: int | None = None,
+    protocol: str = "dbvv",
+    seed: int = 7,
+) -> dict[str, Any]:
+    """Both arms across the grid, with per-cell speedups."""
+    grid = active_grid() if grid is None else grid
+    rounds = active_rounds() if rounds is None else rounds
+    configs = []
+    for n_nodes, n_items in grid:
+        inc = run_config(
+            n_nodes, n_items, rounds=rounds, incremental=True,
+            protocol=protocol, seed=seed,
+        )
+        leg = run_config(
+            n_nodes, n_items, rounds=rounds, incremental=False,
+            protocol=protocol, seed=seed,
+        )
+        configs.append(
+            {
+                "n_nodes": n_nodes,
+                "n_items": n_items,
+                "incremental": inc,
+                "legacy": leg,
+                "round_throughput_speedup": round(
+                    inc["rounds_per_sec"] / leg["rounds_per_sec"], 2
+                ),
+            }
+        )
+    return {
+        "benchmark": "scale-round-loop",
+        "protocol": protocol,
+        "rounds_per_config": rounds,
+        "burst_updates": BURST_UPDATES,
+        "smoke": smoke_mode(),
+        "workload": (
+            "conflict-free burst (distinct items, one writer each), then "
+            "quiescence; loop = run_round + converged + observe"
+        ),
+        "configs": configs,
+    }
+
+
+def write_report(report: dict[str, Any], path: Path | None = None) -> Path:
+    path = path or Path(__file__).resolve().parent.parent / REPORT_NAME
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main() -> None:
+    report = run_grid()
+    path = write_report(report)
+    for cfg in report["configs"]:
+        print(
+            f"n={cfg['n_nodes']:4d} N={cfg['n_items']:5d}  "
+            f"incremental={cfg['incremental']['per_round_ms']:8.3f} ms/round  "
+            f"legacy={cfg['legacy']['per_round_ms']:8.3f} ms/round  "
+            f"speedup={cfg['round_throughput_speedup']:5.1f}x"
+        )
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

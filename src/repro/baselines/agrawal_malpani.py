@@ -35,9 +35,11 @@ from dataclasses import dataclass
 from repro.core.messages import WORD_SIZE
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
+    ContentDigest,
     ProtocolNode,
     SessionPhase,
     SessionScope,
+    StateVersion,
     SyncStats,
     Transport,
     open_session,
@@ -127,6 +129,7 @@ class AgrawalMalpaniNode(ProtocolNode):
         self._sync_calls = 0
         self.vector_exchanges = 0
         self.repairs = 0
+        self._digest = ContentDigest()
 
     # -- user operations -----------------------------------------------------
 
@@ -145,12 +148,18 @@ class AgrawalMalpaniNode(ProtocolNode):
         except KeyError:
             raise UnknownItemError(item) from None
 
-    def _apply(self, record: AMRecord) -> None:
+    def _apply(self, record: AMRecord) -> bool:
+        """LWW-apply; True when the item's value actually changed hands."""
         self.counters.seqno_comparisons += 1
         if record.stamp() > self._stamps[record.item]:
+            self._digest.replace(
+                record.item, self._values[record.item], record.value
+            )
             self._values[record.item] = record.value
             self._stamps[record.item] = record.stamp()
             self.counters.items_copied += 1
+            return True
+        return False
 
     def received_vector(self) -> tuple[int, ...]:
         """Per-origin received-record counts (the protocol's vector)."""
@@ -167,11 +176,17 @@ class AgrawalMalpaniNode(ProtocolNode):
             )
         stats = SyncStats()
         self._sync_calls += 1
+        adopted: list[tuple[int, str]] = []
         session = open_session(transport, self.node_id, peer.node_id)
         try:
-            applied = self._log_push(peer, transport, stats, session)
+            applied, pushed_names = self._log_push(peer, transport, stats, session)
+            adopted.extend((peer.node_id, name) for name in pushed_names)
             if self._sync_calls % self.vector_exchange_every == 0:
-                applied += self._vector_exchange(peer, transport, stats, session)
+                repaired, repair_adopted = self._vector_exchange(
+                    peer, transport, stats, session
+                )
+                applied += repaired
+                adopted.extend(repair_adopted)
         except (NodeDownError, MessageLostError):
             # A lost log push is *by design* not retried (the cursors
             # already advanced — decoupling means the cheap path carries
@@ -188,6 +203,7 @@ class AgrawalMalpaniNode(ProtocolNode):
         stats.bytes_sent = session.bytes_sent
         stats.items_transferred = applied
         stats.identical = applied == 0
+        stats.adopted_items = tuple(adopted)
         session.advance(SessionPhase.REPLY_APPLIED)
         return stats
 
@@ -197,7 +213,7 @@ class AgrawalMalpaniNode(ProtocolNode):
         transport: Transport,
         stats: SyncStats,
         session: SessionScope,
-    ) -> int:
+    ) -> tuple[int, tuple[str, ...]]:
         # Pushes are deliberately fire-and-forget: the cursors advance
         # whether or not delivery succeeds, and a lost push is never
         # retried — that is the decoupling (the cheap path carries no
@@ -212,7 +228,7 @@ class AgrawalMalpaniNode(ProtocolNode):
                 fresh.append(record)
             cursors[origin] = len(records)
         if not fresh:
-            return 0
+            return 0, ()
         session.advance(SessionPhase.REQUEST_SENT)
         message = transport.deliver(
             self.node_id, peer.node_id, _LogPush(self.node_id, tuple(fresh))
@@ -221,18 +237,24 @@ class AgrawalMalpaniNode(ProtocolNode):
         stats.messages += 1
         return peer._accept_records(message.records)
 
-    def _accept_records(self, records: tuple[AMRecord, ...]) -> int:
+    def _accept_records(
+        self, records: tuple[AMRecord, ...]
+    ) -> tuple[int, tuple[str, ...]]:
+        """Returns the accepted-record count (``items_transferred``
+        semantics, unchanged) plus the names whose value changed."""
         applied = 0
+        changed: list[str] = []
         for record in records:
             known = self._received[record.origin]
             self.counters.seqno_comparisons += 1
             if record.seqno == len(known) + 1:
                 known.append(record)
-                self._apply(record)
+                if self._apply(record):
+                    changed.append(record.item)
                 applied += 1
             # Records out of prefix order (a gap from a missed push)
             # are dropped here; the vector exchange repairs gaps.
-        return applied
+        return applied, tuple(changed)
 
     def _vector_exchange(
         self,
@@ -240,9 +262,10 @@ class AgrawalMalpaniNode(ProtocolNode):
         transport: Transport,
         stats: SyncStats,
         session: SessionScope,
-    ) -> int:
+    ) -> tuple[int, list[tuple[int, str]]]:
         """Compare received-vectors both ways and repair gaps."""
         self.vector_exchanges += 1
+        adopted: list[tuple[int, str]] = []
         session.advance(SessionPhase.REQUEST_SENT)
         mine = transport.deliver(
             self.node_id, peer.node_id,
@@ -271,7 +294,9 @@ class AgrawalMalpaniNode(ProtocolNode):
                 peer.node_id, self.node_id, peer._serve_repair(request)
             )
             stats.messages += 2
-            applied += self._accept_records(repair.records)
+            accepted, changed = self._accept_records(repair.records)
+            applied += accepted
+            adopted.extend((self.node_id, name) for name in changed)
             self.repairs += 1
         # ...and the peer repairs from me (symmetric exchange).
         peer_gaps = tuple(
@@ -289,9 +314,11 @@ class AgrawalMalpaniNode(ProtocolNode):
                 self.node_id, peer.node_id, self._serve_repair(request)
             )
             stats.messages += 2
-            applied += peer._accept_records(repair.records)
+            accepted, changed = peer._accept_records(repair.records)
+            applied += accepted
+            adopted.extend((peer.node_id, name) for name in changed)
             peer.repairs += 1
-        return applied
+        return applied, adopted
 
     def _serve_repair(self, request: _RepairRequest) -> _LogPush:
         records: list[AMRecord] = []
@@ -305,3 +332,9 @@ class AgrawalMalpaniNode(ProtocolNode):
 
     def state_fingerprint(self) -> dict[str, bytes]:
         return dict(self._values)
+
+    def state_version(self) -> StateVersion:
+        return StateVersion(self.protocol_name, self._digest.token())
+
+    def fingerprint_value(self, item: str) -> bytes:
+        return self._values.get(item, b"")

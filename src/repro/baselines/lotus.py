@@ -41,8 +41,10 @@ from dataclasses import dataclass
 from repro.core.messages import WORD_SIZE
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
+    ContentDigest,
     ProtocolNode,
     SessionPhase,
+    StateVersion,
     SyncStats,
     Transport,
     open_session,
@@ -130,13 +132,16 @@ class LotusNode(ProtocolNode):
         # When we last propagated updates to each peer, in *our* clock.
         self._last_prop_to: dict[int, int] = {k: 0 for k in range(n_nodes)}
         self._db_last_modified = 0
+        self._digest = ContentDigest()
 
     # -- user operations -----------------------------------------------------
 
     def user_update(self, item: str, op: UpdateOperation) -> None:
         doc = self._doc(item)
         self._clock += 1
+        old = doc.value
         doc.value = op.apply(doc.value)
+        self._digest.replace(item, old, doc.value)
         doc.seqno += 1
         doc.last_modified = self._clock
         doc.last_writer = self.node_id
@@ -221,6 +226,7 @@ class LotusNode(ProtocolNode):
             # Blind adoption by sequence number: this is where Lotus can
             # silently overwrite a conflicting concurrent update (E4b).
             self._clock += 1
+            self._digest.replace(name, doc.value, value)
             doc.value = value
             doc.seqno = seqno
             doc.last_writer = writer
@@ -228,6 +234,9 @@ class LotusNode(ProtocolNode):
             self._db_last_modified = self._clock
             self.counters.items_copied += 1
             stats.items_transferred += 1
+        stats.adopted_items = tuple(
+            (self.node_id, name) for name, _v, _s, _w in shipment.docs
+        )
         session.advance(SessionPhase.REPLY_APPLIED)
         return stats
 
@@ -262,6 +271,13 @@ class LotusNode(ProtocolNode):
 
     def state_fingerprint(self) -> dict[str, bytes]:
         return {name: doc.value for name, doc in self._docs.items()}
+
+    def state_version(self) -> StateVersion:
+        return StateVersion(self.protocol_name, self._digest.token())
+
+    def fingerprint_value(self, item: str) -> bytes:
+        doc = self._docs.get(item)
+        return doc.value if doc is not None else b""
 
     def seqno_of(self, item: str) -> int:
         """The item's Lotus sequence number (test aid)."""

@@ -33,8 +33,10 @@ from repro.cluster.failures import CrashAfterPartialPush
 from repro.core.messages import WORD_SIZE
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
+    ContentDigest,
     ProtocolNode,
     SessionPhase,
+    StateVersion,
     SyncStats,
     Transport,
     open_session,
@@ -95,6 +97,7 @@ class OraclePushNode(ProtocolNode):
         self._own_seq = 0
         # How many of my queue entries each peer has acknowledged.
         self._acked: dict[int, int] = {k: 0 for k in range(n_nodes)}
+        self._digest = ContentDigest()
 
     # -- user operations -----------------------------------------------------
 
@@ -103,6 +106,7 @@ class OraclePushNode(ProtocolNode):
             raise UnknownItemError(item)
         new_value = op.apply(self._values[item])
         self._own_seq += 1
+        self._digest.replace(item, self._values[item], new_value)
         self._values[item] = new_value
         self._stamps[item] = (self._own_seq, self.node_id)
         self._queue.append(
@@ -146,10 +150,14 @@ class OraclePushNode(ProtocolNode):
             session.close()
         stats.messages = 1
         stats.bytes_sent = session.bytes_sent
-        applied = peer._apply_batch(batch)
+        applied, changed = peer._apply_batch(batch)
         session.advance(SessionPhase.REPLY_APPLIED)
         self._acked[peer.node_id] = len(self._queue)
         stats.items_transferred = applied
+        # A push changes state at the *peer* only.
+        stats.adopted_items = tuple(
+            (peer.node_id, name) for name in changed
+        )
         return stats
 
     def push_to_all(
@@ -177,22 +185,34 @@ class OraclePushNode(ProtocolNode):
                     break
         return results
 
-    def _apply_batch(self, batch: _PushBatch) -> int:
-        """Apply received records under LWW; returns adoptions."""
+    def _apply_batch(self, batch: _PushBatch) -> tuple[int, tuple[str, ...]]:
+        """Apply received records under LWW; returns the adoption count
+        and the names of the items whose value changed."""
         applied = 0
+        changed: list[str] = []
         for record in batch.records:
             self.counters.seqno_comparisons += 1
             if record.stamp() > self._stamps[record.item]:
+                self._digest.replace(
+                    record.item, self._values[record.item], record.value
+                )
                 self._values[record.item] = record.value
                 self._stamps[record.item] = record.stamp()
                 self.counters.items_copied += 1
                 applied += 1
-        return applied
+                changed.append(record.item)
+        return applied, tuple(changed)
 
     # -- introspection --------------------------------------------------------------
 
     def state_fingerprint(self) -> dict[str, bytes]:
         return dict(self._values)
+
+    def state_version(self) -> StateVersion:
+        return StateVersion(self.protocol_name, self._digest.token())
+
+    def fingerprint_value(self, item: str) -> bytes:
+        return self._values.get(item, b"")
 
     def pending_for(self, peer_id: int) -> int:
         """Queue entries not yet acknowledged by ``peer_id`` (test aid)."""

@@ -27,8 +27,10 @@ from repro.core.messages import WORD_SIZE, ItemPayload, vv_wire_size
 from repro.core.version_vector import Ordering, VersionVector
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
+    ContentDigest,
     ProtocolNode,
     SessionPhase,
+    StateVersion,
     SyncStats,
     Transport,
     open_session,
@@ -102,13 +104,16 @@ class PerItemVVNode(ProtocolNode):
             name: VersionVector.zero(n_nodes) for name in items
         }
         self._conflicts: list[str] = []
+        self._digest = ContentDigest()
 
     # -- user operations -----------------------------------------------------
 
     def user_update(self, item: str, op: UpdateOperation) -> None:
         if item not in self._values:
             raise UnknownItemError(item)
-        self._values[item] = op.apply(self._values[item])
+        old = self._values[item]
+        self._values[item] = op.apply(old)
+        self._digest.replace(item, old, self._values[item])
         self._ivvs[item].increment(self.node_id)
 
     def read(self, item: str) -> bytes:
@@ -183,10 +188,16 @@ class PerItemVVNode(ProtocolNode):
         stats.messages += 2
         stats.bytes_sent = session.bytes_sent
         for payload in shipment.payloads:
+            self._digest.replace(
+                payload.name, self._values[payload.name], payload.value
+            )
             self._values[payload.name] = payload.value
             self._ivvs[payload.name] = payload.ivv.copy()
             self.counters.items_copied += 1
             stats.items_transferred += 1
+        stats.adopted_items = tuple(
+            (self.node_id, payload.name) for payload in shipment.payloads
+        )
         session.advance(SessionPhase.REPLY_APPLIED)
         return stats
 
@@ -209,6 +220,12 @@ class PerItemVVNode(ProtocolNode):
 
     def state_fingerprint(self) -> dict[str, bytes]:
         return dict(self._values)
+
+    def state_version(self) -> StateVersion:
+        return StateVersion(self.protocol_name, self._digest.token())
+
+    def fingerprint_value(self, item: str) -> bytes:
+        return self._values.get(item, b"")
 
     def conflict_count(self) -> int:
         return len(self._conflicts)

@@ -37,8 +37,10 @@ from dataclasses import dataclass
 from repro.core.messages import WORD_SIZE
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
+    ContentDigest,
     ProtocolNode,
     SessionPhase,
+    StateVersion,
     SyncStats,
     Transport,
     open_session,
@@ -110,6 +112,7 @@ class WuuBernsteinNode(ProtocolNode):
         }
         self._log: list[GossipRecord] = []
         self._table = [[0] * n_nodes for _ in range(n_nodes)]
+        self._digest = ContentDigest()
 
     # -- user operations -----------------------------------------------------
 
@@ -119,6 +122,7 @@ class WuuBernsteinNode(ProtocolNode):
         new_value = op.apply(self._values[item])
         seqno = self._table[self.node_id][self.node_id] + 1
         self._table[self.node_id][self.node_id] = seqno
+        self._digest.replace(item, self._values[item], new_value)
         self._values[item] = new_value
         self._stamps[item] = (seqno, self.node_id)
         self._log.append(GossipRecord(item, new_value, seqno, self.node_id))
@@ -162,18 +166,24 @@ class WuuBernsteinNode(ProtocolNode):
         stats.bytes_sent = session.bytes_sent
 
         applied = 0
+        changed: list[str] = []
         for record in message.records:
             self.counters.seqno_comparisons += 1
             if record.seqno > self._table[self.node_id][record.origin]:
                 # Unseen update: log it and LWW-apply it.
                 self._log.append(record)
                 if record.stamp() > self._stamps[record.item]:
+                    self._digest.replace(
+                        record.item, self._values[record.item], record.value
+                    )
                     self._values[record.item] = record.value
                     self._stamps[record.item] = record.stamp()
                     self.counters.items_copied += 1
+                    changed.append(record.item)
                 applied += 1
         stats.items_transferred = applied
         stats.identical = applied == 0
+        stats.adopted_items = tuple((self.node_id, item) for item in changed)
 
         # Merge knowledge: my own row joins the sender's row; every row
         # joins component-wise (both are standard time-table rules).
@@ -225,6 +235,12 @@ class WuuBernsteinNode(ProtocolNode):
 
     def state_fingerprint(self) -> dict[str, bytes]:
         return dict(self._values)
+
+    def state_version(self) -> StateVersion:
+        return StateVersion(self.protocol_name, self._digest.token())
+
+    def fingerprint_value(self, item: str) -> bytes:
+        return self._values.get(item, b"")
 
     @property
     def log_size(self) -> int:

@@ -3,9 +3,14 @@
 Two protocol-agnostic instruments:
 
 * :func:`fingerprints_equal` / :func:`divergence_report` compare replica
-  snapshots pair-wise — the test-suite's definition of "converged"
-  (correctness criterion C3: when update activity stops, all replicas
-  catch up).
+  snapshots — the test-suite's definition of "converged" (correctness
+  criterion C3: when update activity stops, all replicas catch up).
+  When every node exposes a :class:`~repro.interfaces.StateVersion`
+  (all concrete protocols do), the comparison is O(n) over the cheap
+  versions instead of O(n·N) over materialized snapshot dicts; ad-hoc
+  nodes without versions fall back to the full comparison, and
+  sanitizer mode (``crosscheck=True``) runs both and insists they
+  agree.
 
 * :class:`GroundTruth` maintains the would-be state of a hypothetical
   replica that saw every user update instantly, in global order.  A
@@ -15,13 +20,38 @@ Two protocol-agnostic instruments:
   Ground truth is only meaningful for conflict-free histories (with
   concurrent conflicting updates there is no single truth — which is
   the point of conflict detection).
+
+  By default every query recomputes from full fingerprints.  A driver
+  that routes all updates through :meth:`apply` and reports session
+  adoptions through :meth:`note_adoptions` can call :meth:`track` to
+  switch the tracked node list to *incremental* accounting: queries
+  then re-examine only the (node, item) pairs in the dirty frontier
+  (items updated or adopted since the last query), making per-query
+  cost proportional to what changed.  The from-scratch path is kept as
+  :meth:`recompute_stale_pairs` for untracked callers (queries over
+  node subsets fall back to it automatically) and for the sanitizer
+  cross-check.
+
+  The dirty-frontier invariant: between queries, every (node, item)
+  pair whose staleness status may have changed is in the node's dirty
+  set.  :meth:`apply` dirties the item for *all* tracked nodes (the
+  truth moved under everyone, including the updater — a non-Put update
+  applied to a stale base can itself diverge from the truth),
+  :meth:`note_adoptions` dirties reported pairs, :meth:`note_node_added`
+  dirties the whole schema for a newcomer, and
+  :meth:`note_node_refresh` re-examines a node wholesale when a session
+  moved data without reporting which items (ad-hoc protocol
+  implementations).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
+from repro.errors import InvariantViolation
 from repro.interfaces import ProtocolNode
+from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
 __all__ = [
@@ -32,12 +62,56 @@ __all__ = [
 ]
 
 
-def fingerprints_equal(nodes: list[ProtocolNode]) -> bool:
-    """True when every replica's durable snapshot is identical."""
-    if len(nodes) < 2:
-        return True
+def _fingerprints_equal_full(nodes: Sequence[ProtocolNode]) -> bool:
+    """The from-scratch comparison over full snapshot dicts."""
     reference = nodes[0].state_fingerprint()
     return all(node.state_fingerprint() == reference for node in nodes[1:])
+
+
+def fingerprints_equal(
+    nodes: Sequence[ProtocolNode],
+    *,
+    use_versions: bool = True,
+    crosscheck: bool = False,
+    counters: OverheadCounters = NULL_COUNTERS,
+) -> bool:
+    """True when every replica's durable snapshot is identical.
+
+    With ``use_versions`` (the default) and every node reporting a
+    :class:`~repro.interfaces.StateVersion` of one kind, the check
+    compares n compact versions instead of materializing n full
+    ``state_fingerprint()`` dicts.  Any node without a version (ad-hoc
+    test doubles) drops the whole check back to full fingerprints —
+    correctness never depends on the fast path.
+
+    ``crosscheck`` is the sanitizer mode: when the fast path produced
+    an answer, recompute from full fingerprints and raise
+    :class:`~repro.errors.InvariantViolation` on disagreement (each
+    verification is counted in ``counters.tracking_crosschecks``).
+    """
+    if len(nodes) < 2:
+        return True
+    if use_versions:
+        versions = [node.state_version() for node in nodes]
+        first = versions[0]
+        if first is not None and all(
+            v is not None and v.kind == first.kind for v in versions[1:]
+        ):
+            fast = all(
+                v is not None and first.matches(v) for v in versions[1:]
+            )
+            if crosscheck:
+                counters.tracking_crosschecks += 1
+                full = _fingerprints_equal_full(nodes)
+                if full != fast:
+                    raise InvariantViolation(
+                        "state_version comparison disagrees with full "
+                        f"fingerprints: versions say converged={fast}, "
+                        f"snapshots say converged={full} "
+                        f"(kind={first.kind!r}, n={len(nodes)})"
+                    )
+            return fast
+    return _fingerprints_equal_full(nodes)
 
 
 def divergence_report(nodes: list[ProtocolNode]) -> dict[str, int]:
@@ -68,12 +142,23 @@ class GroundTruth:
 
     Feed it every user update (in the global order the simulation issues
     them) via :meth:`apply`; sample cluster staleness with
-    :meth:`observe`.
+    :meth:`observe`.  See the module docstring for the optional
+    incremental tracking mode (:meth:`track`).
     """
 
     items: tuple[str, ...]
     _values: dict[str, bytes] = field(init=False)
     samples: list[StalenessSample] = field(default_factory=list)
+    _tracked: list[ProtocolNode] | None = field(
+        default=None, init=False, repr=False
+    )
+    _counters: OverheadCounters = field(
+        default_factory=lambda: NULL_COUNTERS, init=False, repr=False
+    )
+    # Per tracked node: pairs awaiting re-examination, and the exact
+    # set of currently stale items among the examined ones.
+    _dirty: list[set[str]] = field(default_factory=list, init=False, repr=False)
+    _stale: list[set[str]] = field(default_factory=list, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._values = {item: b"" for item in self.items}
@@ -81,12 +166,96 @@ class GroundTruth:
     def apply(self, item: str, op: UpdateOperation) -> None:
         """Record a user update in global order."""
         self._values[item] = op.apply(self._values[item])
+        if self._tracked is not None:
+            # The truth moved under every replica; the updater itself is
+            # included (a non-Put op applied to a stale local base can
+            # leave even the updating node behind the truth).
+            for dirty in self._dirty:
+                dirty.add(item)
 
     def value(self, item: str) -> bytes:
         return self._values[item]
 
+    # -- incremental tracking ----------------------------------------------------
+
+    def track(
+        self,
+        nodes: list[ProtocolNode],
+        counters: OverheadCounters = NULL_COUNTERS,
+    ) -> None:
+        """Switch queries over ``nodes`` (the exact list object — it may
+        grow via :meth:`note_node_added`) to incremental accounting.
+
+        The caller contracts to report every subsequent mutation:
+        updates via :meth:`apply`, session adoptions via
+        :meth:`note_adoptions` / :meth:`note_node_refresh`, membership
+        growth via :meth:`note_node_added`.  Everything starts dirty, so
+        no assumption is made about the nodes' state at track time; the
+        first query pays one full examination and later ones only the
+        frontier.  Queries passing any *other* list (subsets, ad-hoc
+        node groups) keep using the from-scratch path.
+        """
+        self._tracked = nodes
+        self._counters = counters
+        self._dirty = [set(self.items) for _ in nodes]
+        self._stale = [set() for _ in nodes]
+
+    def tracking(self, nodes: Sequence[ProtocolNode]) -> bool:
+        """True when ``nodes`` is the tracked list object."""
+        return self._tracked is not None and nodes is self._tracked
+
+    def note_adoptions(self, pairs: Iterable[tuple[int, str]]) -> None:
+        """Mark session-reported ``(node_index, item)`` pairs dirty."""
+        if self._tracked is None:
+            return
+        for node_index, item in pairs:
+            self._dirty[node_index].add(item)
+
+    def note_node_refresh(self, node_index: int) -> None:
+        """Re-examine everything at one node (a session moved data but
+        did not say which items — ad-hoc protocol implementations)."""
+        if self._tracked is None:
+            return
+        self._dirty[node_index].update(self.items)
+
+    def note_node_added(self) -> None:
+        """The tracked list grew by one (all-zero) replica."""
+        if self._tracked is None:
+            return
+        self._dirty.append(set(self.items))
+        self._stale.append(set())
+
+    def _drain_dirty(self) -> None:
+        """Re-examine every dirty pair, updating the exact stale sets."""
+        nodes = self._tracked
+        if nodes is None:
+            return
+        for node_index, dirty in enumerate(self._dirty):
+            if not dirty:
+                continue
+            node = nodes[node_index]
+            stale = self._stale[node_index]
+            self._counters.staleness_reexaminations += len(dirty)
+            for item in dirty:
+                if node.fingerprint_value(item) != self._values[item]:
+                    stale.add(item)
+                else:
+                    stale.discard(item)
+            dirty.clear()
+
+    # -- queries ------------------------------------------------------------------
+
     def stale_pairs(self, nodes: list[ProtocolNode]) -> int:
         """Count of (node, item) pairs whose value lags the ground truth."""
+        if self.tracking(nodes):
+            self._drain_dirty()
+            return sum(len(stale) for stale in self._stale)
+        return self.recompute_stale_pairs(nodes)
+
+    def recompute_stale_pairs(self, nodes: Sequence[ProtocolNode]) -> int:
+        """The from-scratch count over full fingerprints — used by
+        untracked callers (including subset queries) and as the
+        sanitizer cross-check against the incremental count."""
         stale = 0
         for node in nodes:
             snapshot = node.state_fingerprint()
@@ -97,18 +266,23 @@ class GroundTruth:
 
     def observe(self, time: float, nodes: list[ProtocolNode]) -> StalenessSample:
         """Sample staleness now and append it to ``samples``."""
-        stale_nodes = 0
-        stale_pairs = 0
-        for node in nodes:
-            snapshot = node.state_fingerprint()
-            node_stale = sum(
-                1
-                for item, truth in self._values.items()
-                if snapshot.get(item, b"") != truth
-            )
-            stale_pairs += node_stale
-            if node_stale:
-                stale_nodes += 1
+        if self.tracking(nodes):
+            self._drain_dirty()
+            stale_pairs = sum(len(stale) for stale in self._stale)
+            stale_nodes = sum(1 for stale in self._stale if stale)
+        else:
+            stale_nodes = 0
+            stale_pairs = 0
+            for node in nodes:
+                snapshot = node.state_fingerprint()
+                node_stale = sum(
+                    1
+                    for item, truth in self._values.items()
+                    if snapshot.get(item, b"") != truth
+                )
+                stale_pairs += node_stale
+                if node_stale:
+                    stale_nodes += 1
         sample = StalenessSample(time, stale_pairs, stale_nodes)
         self.samples.append(sample)
         return sample

@@ -27,7 +27,12 @@ from repro.cluster.events import EventLoop
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.sanitizer import sanitize_enabled, sanitize_endpoints
 from repro.cluster.scheduler import PeerSelector, RandomSelector
-from repro.errors import MessageLostError, NodeDownError, UnknownItemError
+from repro.errors import (
+    ConvergenceError,
+    MessageLostError,
+    NodeDownError,
+    UnknownItemError,
+)
 from repro.interfaces import ProtocolNode
 from repro.metrics.counters import OverheadCounters
 from repro.substrate.operations import UpdateOperation
@@ -206,22 +211,31 @@ class EventDrivenSimulation:
             self.run_until(self.now + check_interval)
             if self._pending_failure_events == 0 and self.converged():
                 return self.now
-        raise AssertionError(
+        raise ConvergenceError(
             f"no convergence by simulated time {deadline} "
             f"({self.sessions_run} sessions run)"
         )
 
     def converged(self) -> bool:
+        """State-version comparison when every node provides one; the
+        sanitizer cross-checks it against full fingerprints.  (This
+        driver keeps the from-scratch :class:`GroundTruth` — its
+        sessions do not report adoption frontiers.)"""
         live = [
             self.nodes[k] for k in range(self.n_nodes) if self.network.is_up(k)
         ]
-        return fingerprints_equal(live)
+        return fingerprints_equal(
+            live,
+            crosscheck=bool(self.sanitize),
+            counters=self.network_counters,
+        )
 
     @property
     def total_counters(self) -> OverheadCounters:
+        """All per-node counters plus the network's, merged field-for-
+        field (the network object also carries abort/sanitizer/tracking
+        accounting, not just traffic volume)."""
         merged = OverheadCounters()
         for counters in self.node_counters:
             merged = merged.merged_with(counters)
-        merged.messages_sent += self.network_counters.messages_sent
-        merged.bytes_sent += self.network_counters.bytes_sent
-        return merged
+        return merged.merged_with(self.network_counters)

@@ -275,20 +275,24 @@ class SimulatedNetwork:
         session = self._session if self._session is not None and not self._session.closed else None
         if session is not None:
             session.note_message(size)
+        dropped = False
         if session is not None and session.messages in self._armed_drops:
             self._armed_drops.remove(session.messages)
-            self._drop(link, size, src, dst)
-        if self.loss_rate > 0.0:
+            dropped = True
+        if not dropped and self.loss_rate > 0.0:
             if self.rng is None:
                 raise InvariantViolation(
                     "network has loss_rate > 0 but no RNG; set_loss_rate "
                     "should have rejected this configuration"
                 )
             if self.rng.random() < self.loss_rate:
-                self._drop(link, size, src, dst)
+                dropped = True
         # Scripted crash *between* messages: fires after this message
-        # was delivered, so the session's next message finds the node
-        # dead mid-exchange.
+        # left the sender, so the session's next message finds the node
+        # dead mid-exchange.  The sweep runs before a drop is raised —
+        # the message was sent (and counted) whether or not it arrives,
+        # so an armed crash whose trigger message is itself dropped
+        # still fires instead of silently staying armed forever.
         if session is not None:
             for armed in list(self._armed_crashes):
                 if (
@@ -297,6 +301,8 @@ class SimulatedNetwork:
                 ):
                     self._armed_crashes.remove(armed)
                     self.set_down(armed.node)
+        if dropped:
+            self._drop(link, size, src, dst)
         return message
 
     def _drop(self, link: LinkStats, size: int, src: int, dst: int) -> None:

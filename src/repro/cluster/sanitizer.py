@@ -17,6 +17,16 @@ checking on.  Every sweep is counted in
 :attr:`~repro.metrics.counters.OverheadCounters.sanitizer_checks` so
 benchmarks can report the sanitizer's overhead explicitly.
 
+Since the incremental convergence/staleness tracking landed, sanitizer
+mode also cross-checks every fast-path answer against the from-scratch
+recomputation it replaced: :func:`~repro.cluster.convergence.fingerprints_equal`
+re-derives convergence from full snapshots whenever state versions
+decided it, and the simulation re-derives each round's ``stale_pairs``
+from full fingerprints whenever the ground-truth dirty frontier
+supplied it (counted in ``tracking_crosschecks``).  A disagreement
+raises :class:`~repro.errors.InvariantViolation` at the round that
+introduced it.
+
 A failed sweep raises :class:`~repro.errors.InvariantViolation` (which
 survives ``python -O`` — see ``docs/DEVELOPING.md``).
 """

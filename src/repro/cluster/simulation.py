@@ -38,7 +38,12 @@ from repro.cluster.failures import FailurePlan
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.sanitizer import sanitize_enabled, sanitize_endpoints
 from repro.cluster.scheduler import PeerSelector, RandomSelector
-from repro.errors import MessageLostError, NodeDownError
+from repro.errors import (
+    ConvergenceError,
+    InvariantViolation,
+    MessageLostError,
+    NodeDownError,
+)
 from repro.interfaces import ProtocolNode, SyncStats
 from repro.metrics.counters import OverheadCounters
 from repro.substrate.operations import UpdateOperation
@@ -146,8 +151,16 @@ class ClusterSimulation:
     sanitize:
         The run-time invariant sanitizer: run the full invariant suite
         on both endpoints after *every* session, not just faulted ones
-        (see :mod:`repro.cluster.sanitizer`).  ``None`` (the default)
-        defers to the ``REPRO_SANITIZE`` environment variable.
+        (see :mod:`repro.cluster.sanitizer`), and cross-check every
+        incremental convergence/staleness answer against the
+        from-scratch recomputation.  ``None`` (the default) defers to
+        the ``REPRO_SANITIZE`` environment variable.
+    incremental_tracking:
+        Maintain convergence and staleness incrementally (state-version
+        comparison + ground-truth dirty frontier) so per-round query
+        cost is proportional to what changed, not ``n·N``.  ``False``
+        restores the from-scratch recomputation every round — the
+        legacy behavior, kept as the scale benchmark's baseline.
     seed:
         Seed for the simulation's single RNG.
     """
@@ -160,6 +173,7 @@ class ClusterSimulation:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     check_invariants_on_fault: bool = True
     sanitize: bool | None = None
+    incremental_tracking: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -173,6 +187,8 @@ class ClusterSimulation:
             for node_id in range(self.n_nodes)
         ]
         self.ground_truth = GroundTruth(tuple(self.items))
+        if self.incremental_tracking:
+            self.ground_truth.track(self.nodes, self.network_counters)
         self.coverage = TransitiveCoverageTracker(self.n_nodes)
         self.round_no = 0
         self.history: list[RoundStats] = []
@@ -227,6 +243,10 @@ class ClusterSimulation:
             )
         self.nodes.append(newcomer)
         self.n_nodes = new_n
+        # The tracked list object just grew in place; the newcomer's
+        # whole schema starts dirty (an all-zero replica lags every
+        # non-empty truth value).
+        self.ground_truth.note_node_added()
         # Theorem 5 coverage restarts: the premise must be re-satisfied
         # over the enlarged replica set.
         self.coverage = TransitiveCoverageTracker(new_n)
@@ -258,9 +278,25 @@ class ClusterSimulation:
             self._run_session(node_id, peer, stats)
         stats.messages = self.network_counters.messages_sent - msgs_before
         stats.bytes_sent = self.network_counters.bytes_sent - bytes_before
-        stats.stale_pairs = self.ground_truth.stale_pairs(self.nodes)
+        stats.stale_pairs = self._sample_stale_pairs()
         self.history.append(stats)
         return stats
+
+    def _sample_stale_pairs(self) -> int:
+        """End-of-round staleness, cross-checked in sanitizer mode: the
+        incremental dirty-frontier count must equal the from-scratch
+        recomputation pair for pair."""
+        fast = self.ground_truth.stale_pairs(self.nodes)
+        if self.sanitize and self.ground_truth.tracking(self.nodes):
+            self.network_counters.tracking_crosschecks += 1
+            full = self.ground_truth.recompute_stale_pairs(self.nodes)
+            if fast != full:
+                raise InvariantViolation(
+                    "incremental staleness tracking diverged from the "
+                    f"from-scratch recomputation at round {self.round_no}: "
+                    f"incremental={fast}, recomputed={full}"
+                )
+        return fast
 
     def _run_due_retries(self, stats: RoundStats) -> None:
         """Re-attempt aborted sessions whose backoff has elapsed."""
@@ -309,6 +345,10 @@ class ClusterSimulation:
         stats = RoundStats(self.round_no)
         msgs_before = self.network_counters.messages_sent
         bytes_before = self.network_counters.bytes_sent
+        # Full-mesh rounds owe aborted sessions the same backoff-and-
+        # retry service as random rounds; skipping it would leak every
+        # pending retry scheduled from a faulted full-mesh session.
+        self._run_due_retries(stats)
         for node_id in range(self.n_nodes):
             if not self.network.is_up(node_id):
                 continue
@@ -318,7 +358,7 @@ class ClusterSimulation:
                 self._run_session(node_id, peer, stats)
         stats.messages = self.network_counters.messages_sent - msgs_before
         stats.bytes_sent = self.network_counters.bytes_sent - bytes_before
-        stats.stale_pairs = self.ground_truth.stale_pairs(self.nodes)
+        stats.stale_pairs = self._sample_stale_pairs()
         self.history.append(stats)
         return stats
 
@@ -353,6 +393,13 @@ class ClusterSimulation:
             stats.identical_sessions += 1
         stats.items_transferred += session.items_transferred
         stats.conflicts += session.conflicts
+        if session.adopted_items:
+            self.ground_truth.note_adoptions(session.adopted_items)
+        elif session.items_transferred > 0:
+            # An ad-hoc protocol moved data without naming the items:
+            # conservatively re-examine both endpoints wholesale.
+            self.ground_truth.note_node_refresh(node_id)
+            self.ground_truth.note_node_refresh(peer)
         return session
 
     def _schedule_retry(self, node_id: int, peer: int, attempt: int) -> None:
@@ -405,7 +452,12 @@ class ClusterSimulation:
         (criterion C3 speaks of eventual catch-up).
         """
         live = [self.nodes[k] for k in self.up_nodes()]
-        return fingerprints_equal(live)
+        return fingerprints_equal(
+            live,
+            use_versions=self.incremental_tracking,
+            crosscheck=bool(self.sanitize),
+            counters=self.network_counters,
+        )
 
     def _plan_pending(self) -> bool:
         """True while the failure plan still has unfired events — a
@@ -427,7 +479,7 @@ class ClusterSimulation:
             self.run_round()
         if self.converged():
             return self.round_no
-        raise AssertionError(
+        raise ConvergenceError(
             f"replicas failed to converge within {max_rounds} rounds "
             f"(protocol={self.nodes[0].protocol_name}, "
             f"selector={self.selector.describe()})"
@@ -463,13 +515,16 @@ class ClusterSimulation:
 
     @property
     def total_counters(self) -> OverheadCounters:
-        """All per-node counters plus network traffic, merged."""
+        """All per-node counters plus the network's, merged in full.
+
+        The network's counters carry more than traffic volume —
+        aborted-session accounting, retry counts, sanitizer sweeps,
+        staleness re-examinations — so they merge field-for-field like
+        every per-node object rather than being hand-copied."""
         merged = OverheadCounters()
         for counters in self.node_counters:
             merged = merged.merged_with(counters)
-        merged.messages_sent += self.network_counters.messages_sent
-        merged.bytes_sent += self.network_counters.bytes_sent
-        return merged
+        return merged.merged_with(self.network_counters)
 
     def total_conflicts(self) -> int:
         return sum(node.conflict_count() for node in self.nodes)

@@ -274,7 +274,9 @@ class DeltaEpidemicNode(EpidemicNode):
         persisted; after a restart they are empty but the replica is
         not — every pre-crash update is unreconstructible, so all
         floors rise to the restored DBVV (whole-value fallback until
-        fresh updates rebuild the histories)."""
+        fresh updates rebuild the histories).  The base rebuilds the
+        content digest."""
+        super().after_restore()
         for history in self._histories.values():
             history.forget_through(self.dbvv)
 

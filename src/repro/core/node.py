@@ -41,6 +41,7 @@ from repro.core.messages import (
 )
 from repro.core.version_vector import Ordering, VersionVector
 from repro.errors import InvariantViolation, UnknownItemError
+from repro.interfaces import ContentDigest
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
 
@@ -114,6 +115,10 @@ class EpidemicNode:
         self.log = LogVector(n_nodes)
         self.store = ItemStore(n_nodes, list(item_names))
         self.aux_log = AuxiliaryLog()
+        # Incremental digest of the regular {item: value} state; every
+        # regular-copy write below maintains it in O(1) so the adapter's
+        # state_version() never rescans the store.
+        self._content_digest = ContentDigest()
 
     # ------------------------------------------------------------------
     # User operations (paper section 5.3)
@@ -143,7 +148,9 @@ class EpidemicNode:
             entry.aux_value = op.apply(entry.aux_value)
             entry.aux_ivv.increment(self.node_id)
         else:
+            old_value = entry.value
             entry.value = op.apply(entry.value)
+            self._content_digest.replace(entry.name, old_value, entry.value)
             entry.ivv.increment(self.node_id)
             self.dbvv.record_local_update_by(self.node_id)
             self.log.add(
@@ -190,8 +197,12 @@ class EpidemicNode:
     def after_restore(self) -> None:
         """Called by the persistence layer after rebuilding a node from
         a snapshot; derived (non-persisted) state must assume nothing
-        about the pre-crash history.  The base protocol keeps no such
-        state."""
+        about the pre-crash history.  The restore path writes item
+        values directly, so the content digest is rebuilt from the
+        store here; variants overriding this must call ``super()``."""
+        self._content_digest.recompute(
+            (entry.name, entry.value) for entry in self.store
+        )
 
     # ------------------------------------------------------------------
     # Update propagation, source side (paper Fig. 2)
@@ -268,7 +279,9 @@ class EpidemicNode:
             ordering = payload.ivv.compare(entry.ivv)
             if ordering is Ordering.DOMINATES:
                 old_ivv = entry.ivv
+                old_value = entry.value
                 self._install_payload(entry, payload)
+                self._content_digest.replace(entry.name, old_value, entry.value)
                 entry.ivv = payload.ivv.copy()
                 entry.in_conflict = False
                 self.dbvv.absorb_item_copy(old_ivv, entry.ivv, self.counters)
@@ -356,7 +369,9 @@ class EpidemicNode:
             self.counters.vv_comparisons += 1
             ordering = entry.ivv.compare(record.pre_ivv)
             if ordering is Ordering.EQUAL:
+                old_value = entry.value
                 entry.value = record.op.apply(entry.value)
+                self._content_digest.replace(entry.name, old_value, entry.value)
                 entry.ivv.increment(self.node_id)
                 self.dbvv.record_local_update_by(self.node_id)
                 self.log.add(
@@ -517,6 +532,7 @@ class EpidemicNode:
         for report in self.conflicts.conflicts_for(item):
             merged.merge_from(VersionVector.from_counts(report.remote_vv))
             merged.merge_from(VersionVector.from_counts(report.local_vv))
+        self._content_digest.replace(entry.name, entry.value, value)
         entry.value = value
         entry.ivv = merged
         entry.drop_auxiliary()
@@ -529,6 +545,13 @@ class EpidemicNode:
         self.dbvv.record_local_update_by(self.node_id)
         self.log.add(self.node_id, item, self.dbvv[self.node_id], self.counters)
         self._on_full_rewrite(entry)
+
+    @property
+    def content_digest(self) -> int:
+        """The incrementally maintained 64-bit digest of the regular
+        ``{item: value}`` state (see
+        :class:`~repro.interfaces.ContentDigest`)."""
+        return self._content_digest.token()
 
     def state_fingerprint(self) -> dict[str, tuple[bytes, tuple[int, ...]]]:
         """Regular-copy snapshot ``{item: (value, ivv)}`` used by the

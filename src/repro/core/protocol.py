@@ -17,6 +17,7 @@ from repro.errors import MessageLostError, NodeDownError, ProtocolStateError
 from repro.interfaces import (
     ProtocolNode,
     SessionPhase,
+    StateVersion,
     SyncStats,
     Transport,
     open_session,
@@ -117,6 +118,12 @@ class DBVVProtocolNode(ProtocolNode):
         outcome, _intra = self.node.accept_propagation(answer)
         session.advance(SessionPhase.REPLY_APPLIED)
         stats.items_transferred = len(outcome.adopted)
+        # The pull changed only this node, and only the adopted items
+        # (intra-node replay is restricted to them too) — report the
+        # exact dirty frontier for incremental staleness tracking.
+        stats.adopted_items = tuple(
+            (self.node_id, name) for name in outcome.adopted
+        )
         stats.conflicts = self.node.conflicts.count - before
         return stats
 
@@ -155,6 +162,21 @@ class DBVVProtocolNode(ProtocolNode):
 
     def state_fingerprint(self) -> dict[str, bytes]:
         return {entry.name: entry.value for entry in self.node.store}
+
+    def state_version(self) -> StateVersion:
+        """O(1): the incrementally maintained content digest, plus the
+        DBVV tuple as the paper's identical-detection certificate while
+        this replica is conflict-free (a conflict freezes DBVV
+        accounting, voiding the equal-DBVV ⟹ equal-state argument)."""
+        certificate = None
+        if self.node.conflicts.count == 0:
+            certificate = self.node.dbvv.as_tuple()
+        return StateVersion(
+            self.protocol_name, self.node.content_digest, certificate
+        )
+
+    def fingerprint_value(self, item: str) -> bytes:
+        return self.node.store[item].value
 
     def conflict_count(self) -> int:
         return self.node.conflicts.count

@@ -95,8 +95,15 @@ class VersionVector:
         return cls(counts=list(counts))
 
     def copy(self) -> "VersionVector":
-        """An independent copy; mutating it never affects ``self``."""
-        return VersionVector(counts=self._counts)
+        """An independent copy; mutating it never affects ``self``.
+
+        Components are already validated, so the copy bypasses
+        ``__init__``'s non-negativity scan — copies happen on every
+        propagation request, and the scan made each one O(n) Python
+        work instead of one C-level list copy."""
+        dup = VersionVector.__new__(VersionVector)
+        dup._counts = self._counts.copy()
+        return dup
 
     def extend_to(self, n_nodes: int) -> None:
         """Grow the replica set: append zero components up to ``n_nodes``.
@@ -211,10 +218,15 @@ class VersionVector:
 
         This is the test SendPropagation opens with: if the recipient's
         vector dominates-or-equals the source's, no propagation is needed
-        (paper Fig. 2).
+        (paper Fig. 2).  Equal vectors — the steady state of a converged
+        cluster, probed every round — short-circuit on one C-level list
+        comparison instead of the component loop.
         """
         self._check_compatible(other)
-        for a, b in zip(self._counts, other._counts):
+        mine, theirs = self._counts, other._counts
+        if mine == theirs:
+            return True
+        for a, b in zip(mine, theirs):
             if a < b:
                 return False
         return True

@@ -111,6 +111,17 @@ class SimulationError(ReplicationError, RuntimeError):
     (e.g. scheduling an event in the past)."""
 
 
+class ConvergenceError(ReplicationError, AssertionError):
+    """Replicas failed to converge within the allotted rounds/time.
+
+    Silent non-convergence is exactly the failure mode the experiments
+    must catch, so ``run_until_converged`` raises instead of returning.
+    Subclasses :class:`AssertionError` for compatibility with callers
+    and tests that predate the taxonomy; catching
+    :class:`ReplicationError` now covers non-convergence too.
+    """
+
+
 class MessageLostError(ReplicationError):
     """A message was dropped by the (lossy) simulated network."""
 

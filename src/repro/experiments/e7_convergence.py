@@ -156,8 +156,11 @@ def run_conflict_detection(
     )
     planted_items = set()
     for event_a, event_b in pairs:
-        sim.nodes[event_a.node].user_update(event_a.item, event_a.op)
-        sim.nodes[event_b.node].user_update(event_b.item, event_b.op)
+        # Updates go through the simulation so the ground-truth dirty
+        # frontier sees them (the truth itself is meaningless for a
+        # conflicting pair, but conflict detection below never reads it).
+        sim.apply_update(event_a.node, event_a.item, event_a.op)
+        sim.apply_update(event_b.node, event_b.item, event_b.op)
         planted_items.add(event_a.item)
     for _ in range(6 * n_nodes):
         sim.run_round()

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import abc
 import enum
+import hashlib
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Iterable, Protocol, runtime_checkable
 
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 from repro.substrate.operations import UpdateOperation
@@ -39,6 +40,9 @@ __all__ = [
     "DirectTransport",
     "DIRECT_TRANSPORT",
     "ProtocolNode",
+    "StateVersion",
+    "ContentDigest",
+    "value_digest",
 ]
 
 
@@ -130,6 +134,107 @@ def open_session(transport: "Transport", initiator: int, responder: int) -> Sess
     return SessionScope(initiator, responder)
 
 
+_DIGEST_MASK = (1 << 64) - 1
+
+
+def value_digest(item: str, value: bytes) -> int:
+    """A 64-bit hash of one ``(item, value)`` binding.
+
+    The item name participates so that swapping the values of two items
+    changes the digest; the separator byte keeps ``("ab", b"c")`` and
+    ``("a", b"bc")`` distinct.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(item.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(value)
+    return int.from_bytes(h.digest(), "big")
+
+
+class ContentDigest:
+    """An incrementally maintained commutative digest of a replica's
+    ``{item: value}`` state.
+
+    The token is the sum (mod 2^64) of :func:`value_digest` over every
+    item whose value is non-empty, so:
+
+    * a value write updates it in O(1) — subtract the old binding's
+      hash, add the new one (:meth:`replace`) — instead of O(N) full
+      snapshot materialization;
+    * two replicas over the same schema have equal tokens iff their
+      value maps are equal, up to 64-bit hash collisions (the same
+      with-high-probability caveat any fingerprint scheme carries);
+    * empty values contribute nothing, so a fresh replica starts at
+      token 0 with no priming pass over the schema.
+
+    Order never matters (addition commutes), which is what lets every
+    protocol maintain the digest at its own write sites without any
+    coordination of update order across nodes.
+    """
+
+    __slots__ = ("_acc",)
+
+    def __init__(self) -> None:
+        self._acc = 0
+
+    def replace(self, item: str, old: bytes, new: bytes) -> None:
+        """Account one value write: ``item`` went from ``old`` to ``new``."""
+        if old == new:
+            return
+        if old:
+            self._acc = (self._acc - value_digest(item, old)) & _DIGEST_MASK
+        if new:
+            self._acc = (self._acc + value_digest(item, new)) & _DIGEST_MASK
+
+    def recompute(self, pairs: Iterable[tuple[str, bytes]]) -> None:
+        """Rebuild the token from scratch (snapshot restore paths)."""
+        acc = 0
+        for item, value in pairs:
+            if value:
+                acc = (acc + value_digest(item, value)) & _DIGEST_MASK
+        self._acc = acc
+
+    def token(self) -> int:
+        return self._acc
+
+    def __repr__(self) -> str:
+        return f"ContentDigest(token={self._acc:#018x})"
+
+
+@dataclass(frozen=True, slots=True)
+class StateVersion:
+    """A cheap, comparable summary of one replica's durable state.
+
+    ``kind``
+        The protocol name; versions of different kinds are never
+        comparable (mixed-protocol clusters are rejected upstream, this
+        is belt-and-braces).
+    ``digest``
+        The replica's :class:`ContentDigest` token — the equality
+        decider.  Equal digests mean equal ``{item: value}`` maps up to
+        64-bit hash collisions; the sanitizer cross-check
+        (``REPRO_SANITIZE=1``) re-verifies against full fingerprints.
+    ``certificate``
+        For the paper's protocol, the DBVV tuple — the O(n) summary
+        behind its O(1) identical-replica detection (equal DBVVs imply
+        identical replicas on conflict-free histories).  ``None`` for
+        the baselines and for replicas with detected conflicts.  Kept
+        for introspection and experiment assertions; equality checking
+        uses the digest because a conflict *anywhere in the cluster*
+        can leave a conflict-free third party with a non-prefix
+        reflected update set, voiding the certificate's soundness
+        argument (see docs/PROTOCOL.md).
+    """
+
+    kind: str
+    digest: int
+    certificate: tuple[int, ...] | None = None
+
+    def matches(self, other: "StateVersion") -> bool:
+        """True when both replicas provably hold identical durable state."""
+        return self.kind == other.kind and self.digest == other.digest
+
+
 @dataclass
 class SyncStats:
     """Summary of one pair-wise synchronization.
@@ -142,6 +247,13 @@ class SyncStats:
     ``aborted_phase``     — how far an aborted session got (None while
                             ``failed`` is False, or when the failure was
                             detected before any message moved).
+    ``adopted_items``     — ``(node_id, item)`` pairs whose durable value
+                            may have changed during the session, reported
+                            by the protocol so staleness trackers can
+                            re-examine exactly the dirty frontier instead
+                            of rescanning every replica (push protocols
+                            report the peer's id, pulls report their own,
+                            symmetric exchanges report both).
     """
 
     identical: bool = False
@@ -151,6 +263,7 @@ class SyncStats:
     bytes_sent: int = 0
     failed: bool = False
     aborted_phase: SessionPhase | None = None
+    adopted_items: tuple[tuple[int, str], ...] = ()
 
 
 class _SizedMessage(Protocol):
@@ -250,6 +363,28 @@ class ProtocolNode(abc.ABC):
         out-of-bound copies) report the *regular* durable state here;
         full convergence implies auxiliary copies were discarded.
         """
+
+    def state_version(self) -> StateVersion | None:
+        """An O(1) summary of the durable state, or ``None``.
+
+        When every node of a cluster reports a version of the same kind,
+        ``fingerprints_equal`` compares versions instead of
+        materializing full ``state_fingerprint()`` snapshots — the
+        de-quadratization of the round loop.  The default ``None`` opts
+        out (ad-hoc test nodes fall back to full fingerprints); the
+        DBVV adapter and all baselines maintain a
+        :class:`ContentDigest` and override this.
+        """
+        return None
+
+    def fingerprint_value(self, item: str) -> bytes:
+        """One item's durable value, as ``state_fingerprint()[item]``.
+
+        Staleness trackers probe single (node, item) pairs from a dirty
+        frontier; the default materializes the full snapshot, concrete
+        protocols override with an O(1) lookup.
+        """
+        return self.state_fingerprint().get(item, b"")
 
     def conflict_count(self) -> int:
         """Conflicts this node has detected so far (0 for protocols that

@@ -53,6 +53,15 @@ baselines, and the experiment harness:
     Full ``check_invariants`` sweeps executed by the run-time invariant
     sanitizer (``REPRO_SANITIZE=1`` / ``sanitize=True``); benchmarks
     divide extra wall-clock by this to report sanitizer overhead.
+``staleness_reexaminations``
+    (node, item) pairs probed by the ground-truth tracker's dirty
+    frontier — the incremental replacement for the old O(n·N) per-round
+    fingerprint rescans; proportional to what actually changed.
+``tracking_crosschecks``
+    Sanitizer-mode verifications that the incremental convergence /
+    staleness results equal the from-scratch recomputation (each one
+    *is* a full O(n·N) recomputation — that is the point of the
+    cross-check mode).
 """
 
 from __future__ import annotations
@@ -84,6 +93,8 @@ class OverheadCounters:
     sessions_aborted: int = 0
     bytes_wasted_in_aborted_sessions: int = 0
     sanitizer_checks: int = 0
+    staleness_reexaminations: int = 0
+    tracking_crosschecks: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:

@@ -60,11 +60,11 @@ class TestLogPush:
         # Origin 1's record with seqno 2 arrives while a has none of
         # origin 1's records: not the next prefix element — dropped.
         gap_record = AMRecord("item-0", b"gapped", seqno=2, origin=1)
-        assert a._accept_records((gap_record,)) == 0
+        assert a._accept_records((gap_record,)) == (0, ())
         assert a.read("item-0") == b""
         # The prefix element is accepted, and then its successor.
         first = AMRecord("item-0", b"first", seqno=1, origin=1)
-        assert a._accept_records((first, gap_record)) == 2
+        assert a._accept_records((first, gap_record)) == (2, ("item-0", "item-0"))
         assert a.read("item-0") == b"gapped"
 
 

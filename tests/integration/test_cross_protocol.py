@@ -56,8 +56,10 @@ class TestConflictHandlingSpectrum:
 
     def plant_and_run(self, protocol):
         sim = ClusterSimulation(make_factory(protocol, 3, ITEMS), 3, ITEMS, seed=4)
-        sim.nodes[0].user_update(ITEMS[0], Put(b"a"))
-        sim.nodes[1].user_update(ITEMS[0], Put(b"b"))
+        # Through the simulation, so the ground-truth dirty frontier
+        # sees the (deliberately conflicting) updates.
+        sim.apply_update(0, ITEMS[0], Put(b"a"))
+        sim.apply_update(1, ITEMS[0], Put(b"b"))
         for _ in range(10):
             sim.run_round()
         return sim
