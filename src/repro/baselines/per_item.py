@@ -206,7 +206,7 @@ class PerItemVVNode(ProtocolNode):
         self.counters.items_scanned += len(self._ivvs)
         return _IVVListReply(
             self.node_id,
-            tuple((name, ivv.copy()) for name, ivv in self._ivvs.items()),
+            tuple((name, ivv.copy()) for name, ivv in self._ivvs.items()),  # pragma: full-scan shipping all N IVVs every session is this baseline's defining O(N) cost (paper sections 1, 8.3)
         )
 
     def _serve_fetch(self, fetch: _ItemFetch) -> _ItemShipment:
@@ -229,3 +229,19 @@ class PerItemVVNode(ProtocolNode):
 
     def conflict_count(self) -> int:
         return len(self._conflicts)
+
+    def exploration_key(self) -> tuple:
+        """Values and IVVs in schema order, plus the *set* of conflicted
+        items (sorted; detection order and re-detections are scheduling
+        history, not behavioural state — keying on the raw list would
+        keep conflicted states from ever reaching a closure fixpoint)."""
+        return (
+            tuple(
+                (name, self._values[name], self._ivvs[name].as_tuple())
+                for name in self._values
+            ),
+            tuple(sorted(set(self._conflicts))),
+        )
+
+    def exploration_vectors(self) -> dict[str, tuple[int, ...]]:
+        return {f"ivv:{name}": ivv.as_tuple() for name, ivv in self._ivvs.items()}

@@ -120,7 +120,18 @@ class WuuBernsteinNode(ProtocolNode):
         if item not in self._values:
             raise UnknownItemError(item)
         new_value = op.apply(self._values[item])
-        seqno = self._table[self.node_id][self.node_id] + 1
+        # Lamport-style stamp: the new seqno must exceed both this
+        # node's own event counter *and* the seqno of the stamp being
+        # overwritten.  Stamping with the bare local counter lets an
+        # update made after adopting a higher-origin stamp install a
+        # *smaller* stamp — this replica then believes its update won
+        # while every peer's LWW rule rejects the gossiped record, and
+        # the replicas never converge (found by `python -m repro.explore
+        # --protocol wuu-bernstein`, minimized to update@1, session@0<-1,
+        # update@0).
+        seqno = max(
+            self._table[self.node_id][self.node_id], self._stamps[item][0]
+        ) + 1
         self._table[self.node_id][self.node_id] = seqno
         self._digest.replace(item, self._values[item], new_value)
         self._values[item] = new_value
@@ -189,13 +200,13 @@ class WuuBernsteinNode(ProtocolNode):
         # joins component-wise (both are standard time-table rules).
         sender_row = message.time_table[message.source]
         my_row = self._table[self.node_id]
-        for l_idx in range(self.n_nodes):
+        for l_idx in range(self.n_nodes):  # pragma: full-scan time-table row join is O(n) by definition of the algorithm
             if sender_row[l_idx] > my_row[l_idx]:
                 my_row[l_idx] = sender_row[l_idx]
-        for k in range(self.n_nodes):
+        for k in range(self.n_nodes):  # pragma: full-scan the n-by-n time-table merge is this baseline's defining metadata cost
             row = self._table[k]
             remote_row = message.time_table[k]
-            for l_idx in range(self.n_nodes):
+            for l_idx in range(self.n_nodes):  # pragma: full-scan inner half of the n-by-n time-table merge
                 self.counters.vv_components_touched += 1
                 if remote_row[l_idx] > row[l_idx]:
                     row[l_idx] = remote_row[l_idx]
@@ -211,13 +222,13 @@ class WuuBernsteinNode(ProtocolNode):
         for the requester — linear in log size per session.
         """
         selected = []
-        for record in self._log:
+        for record in self._log:  # pragma: full-scan whole-log scan per session is the cost the paper's footnote 4 calls out
             self.counters.log_records_examined += 1
             if record.seqno > self._table[requester][record.origin]:
                 selected.append(record)
         return _GossipMessage(
             self.node_id,
-            tuple(tuple(row) for row in self._table),
+            tuple(tuple(row) for row in self._table),  # pragma: full-scan every gossip message carries the full n-by-n time table
             tuple(selected),
         )
 
@@ -226,10 +237,10 @@ class WuuBernsteinNode(ProtocolNode):
         def known_everywhere(record: GossipRecord) -> bool:
             return all(
                 self._table[k][record.origin] >= record.seqno
-                for k in range(self.n_nodes)
+                for k in range(self.n_nodes)  # pragma: full-scan the GC rule takes the min over a full time-table column
             )
 
-        self._log = [r for r in self._log if not known_everywhere(r)]
+        self._log = [r for r in self._log if not known_everywhere(r)]  # pragma: full-scan garbage collection sweeps the whole log by design
 
     # -- introspection --------------------------------------------------------------
 
@@ -246,6 +257,32 @@ class WuuBernsteinNode(ProtocolNode):
     def log_size(self) -> int:
         """Current log length (grows with update volume until GC)."""
         return len(self._log)
+
+    def exploration_key(self) -> tuple:
+        """Values/stamps in schema order, the log as a sorted record
+        multiset (gossip applies records independently, so log order is
+        scheduling history, not behavioural state), and the time-table."""
+        return (
+            tuple(
+                (name, self._values[name], self._stamps[name])
+                for name in self._values
+            ),
+            tuple(sorted((r.origin, r.seqno, r.item, r.value) for r in self._log)),
+            tuple(tuple(row) for row in self._table),
+        )
+
+    def exploration_vectors(self) -> dict[str, tuple[int, ...]]:
+        """Every time-table row (rows only merge upward) and every LWW
+        stamp.  Stamps advance *lexicographically* — the origin
+        component may decrease while the seqno rises — so each is
+        flattened to one order-preserving scalar (``seqno`` scaled past
+        the origin range) for the component-wise monotonicity oracle."""
+        vectors: dict[str, tuple[int, ...]] = {
+            f"tt:{k}": tuple(self._table[k]) for k in range(self.n_nodes)
+        }
+        for name, (seqno, origin) in self._stamps.items():
+            vectors[f"stamp:{name}"] = (seqno * (self.n_nodes + 1) + origin + 1,)
+        return vectors
 
     def time_table(self) -> list[list[int]]:
         """A copy of the n×n time-table (test aid)."""

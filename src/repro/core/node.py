@@ -233,7 +233,7 @@ class EpidemicNode:
 
         tails: list[tuple[tuple[str, int], ...]] = []
         selected: list[DataItem] = []
-        for k in range(self.n_nodes):
+        for k in range(self.n_nodes):  # pragma: full-scan one tail probe per log component; the request already ships an O(n) DBVV, so O(n) is the session floor (paper section 6)
             if self.dbvv[k] > remote[k]:
                 records = self.log[k].tail_after(remote[k], self.counters)
             else:

@@ -181,6 +181,28 @@ class DBVVProtocolNode(ProtocolNode):
     def conflict_count(self) -> int:
         return self.node.conflicts.count
 
+    def exploration_key(self) -> tuple:
+        """The persistence dump — already a canonical text encoding of
+        every durable structure (DBVV, IVVs, values, conflict flags,
+        log vector, auxiliary copies and log) — plus conflict
+        *existence*, which the protocol reads back (it freezes DBVV
+        certificates and invariant checks) but the dump deliberately
+        omits.  Existence, not the count: re-detecting an already-known
+        conflict every session changes no behaviour, and keying on the
+        count would keep a legitimately-conflicted state from ever
+        reaching a closure fixpoint."""
+        from repro.substrate.persistence import dump_node
+
+        return (dump_node(self.node), self.node.conflicts.count > 0)
+
+    def exploration_vectors(self) -> dict[str, tuple[int, ...]]:
+        """The DBVV and every *regular* IVV; auxiliary IVVs are excluded
+        because discarding an auxiliary copy removes them wholesale."""
+        vectors: dict[str, tuple[int, ...]] = {"dbvv": self.node.dbvv.as_tuple()}
+        for entry in self.node.store:
+            vectors[f"ivv:{entry.name}"] = entry.ivv.as_tuple()
+        return vectors
+
     def expand_replica_set(self, new_n_nodes: int) -> None:
         """Dynamic-membership extension: grow this replica's view of the
         replica set (see :meth:`EpidemicNode.expand_replica_set`)."""

@@ -1,0 +1,295 @@
+"""The explored action alphabet.
+
+Each action reifies one nondeterminism point of the cluster simulator:
+the explorer — not an RNG — picks which enabled action fires next.  An
+action is a small frozen dataclass with
+
+* a **footprint** — the node ids whose state it writes and reads — from
+  which the sleep-set partial-order reduction derives commutativity
+  (two actions with disjoint write/read footprints can be swapped in a
+  schedule without changing the reached state);
+* a **budget** it consumes (updates, faults, crashes, out-of-bound
+  fetches), which bounds the explored space together with the depth
+  limit; actions drawing on the same budget stop commuting when only
+  one unit is left, which :func:`independent` accounts for;
+* a stable JSON encoding so counterexample schedules are replayable
+  files (:mod:`repro.explore.trace`).
+
+Updates carry no operation payload in the encoding: the explorer
+derives the operation deterministically from the originating node
+(``Append`` of a per-node tag byte), so value content encodes exactly
+the adoption order the schedule produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.errors import ReplicationError
+
+__all__ = [
+    "Action",
+    "Crash",
+    "FetchOutOfBound",
+    "InapplicableActionError",
+    "Originate",
+    "Recover",
+    "SessionFault",
+    "StartSession",
+    "TraceFormatError",
+    "action_from_json",
+    "independent",
+]
+
+
+class TraceFormatError(ReplicationError, ValueError):
+    """A serialized action/trace could not be decoded."""
+
+
+class InapplicableActionError(ReplicationError):
+    """An action was applied in a state where it is not enabled.
+
+    The search only applies enabled actions, so this arises exactly when
+    a schedule is *edited* — the minimizer removing a prerequisite step,
+    or a stale trace replayed against changed protocol code.  It is kept
+    distinct from protocol errors on purpose: a protocol crash on an
+    enabled action is a finding, an inapplicable action is not."""
+
+
+@dataclass(frozen=True)
+class SessionFault:
+    """A scripted mid-session fault armed for one session.
+
+    ``kind``  — ``"drop"`` (lose the ``after``-th message of the session)
+                or ``"crash"`` (crash ``target`` once the session has
+                moved ``after`` messages).
+    ``after`` — 1-based message index the fault triggers on.
+    ``target``— the node crashed by a ``"crash"`` fault; ignored (and
+                normalized to ``-1``) for drops.
+    """
+
+    kind: str
+    after: int = 1
+    target: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("drop", "crash"):
+            raise TraceFormatError(f"unknown session fault kind: {self.kind!r}")
+        if self.after < 1:
+            raise TraceFormatError(f"fault index must be >= 1, got {self.after}")
+        if self.kind == "crash" and self.target < 0:
+            raise TraceFormatError("crash fault needs a target node")
+
+    def describe(self) -> str:
+        if self.kind == "drop":
+            return f"drop-msg-{self.after}"
+        return f"crash-{self.target}-after-{self.after}"
+
+
+@dataclass(frozen=True)
+class Originate:
+    """A user originates an update to ``item`` at ``node``."""
+
+    node: int
+    item: str
+
+    budget = "updates"
+
+    def writes(self) -> frozenset[int]:
+        return frozenset((self.node,))
+
+    def reads(self) -> frozenset[int]:
+        return frozenset()
+
+    def describe(self) -> str:
+        return f"update@{self.node}:{self.item}"
+
+
+@dataclass(frozen=True)
+class StartSession:
+    """Node ``initiator`` runs one anti-entropy session against
+    ``responder`` (a pull for the epidemic protocols), optionally with a
+    scripted mid-session fault.
+
+    The session itself is atomic in the simulator (sessions are
+    sequential; see ``cluster/network.py``), so message-level
+    nondeterminism — deliver vs drop, crash between messages — is
+    explored through the ``fault`` variants rather than by interleaving
+    individual deliveries of different sessions.
+    """
+
+    initiator: int
+    responder: int
+    fault: SessionFault | None = None
+
+    @property
+    def budget(self) -> str | None:
+        return "faults" if self.fault is not None else None
+
+    def writes(self) -> frozenset[int]:
+        written = {self.initiator}
+        if self.fault is not None and self.fault.kind == "crash":
+            written.add(self.fault.target)
+        return frozenset(written)
+
+    def reads(self) -> frozenset[int]:
+        return frozenset((self.responder,))
+
+    def describe(self) -> str:
+        base = f"session@{self.initiator}<-{self.responder}"
+        if self.fault is not None:
+            base += f"[{self.fault.describe()}]"
+        return base
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Fail-stop crash of ``node`` between sessions."""
+
+    node: int
+
+    budget = "crashes"
+
+    def writes(self) -> frozenset[int]:
+        return frozenset((self.node,))
+
+    def reads(self) -> frozenset[int]:
+        return frozenset()
+
+    def describe(self) -> str:
+        return f"crash@{self.node}"
+
+
+@dataclass(frozen=True)
+class Recover:
+    """Recovery of a crashed ``node`` (durable state intact)."""
+
+    node: int
+
+    budget = None
+
+    def writes(self) -> frozenset[int]:
+        return frozenset((self.node,))
+
+    def reads(self) -> frozenset[int]:
+        return frozenset()
+
+    def describe(self) -> str:
+        return f"recover@{self.node}"
+
+
+@dataclass(frozen=True)
+class FetchOutOfBound:
+    """Node ``node`` fetches ``item`` from ``peer`` outside the
+    anti-entropy schedule (paper section 5.2; DBVV protocol only)."""
+
+    node: int
+    item: str
+    peer: int
+
+    budget = "oob"
+
+    def writes(self) -> frozenset[int]:
+        return frozenset((self.node,))
+
+    def reads(self) -> frozenset[int]:
+        return frozenset((self.peer,))
+
+    def describe(self) -> str:
+        return f"oob@{self.node}:{self.item}<-{self.peer}"
+
+
+Action = Union[Originate, StartSession, Crash, Recover, FetchOutOfBound]
+
+_ACTION_KINDS: Mapping[str, type] = {
+    "update": Originate,
+    "session": StartSession,
+    "crash": Crash,
+    "recover": Recover,
+    "oob": FetchOutOfBound,
+}
+
+
+def independent(a: Action, b: Action, budget_left: Mapping[str, int]) -> bool:
+    """True when ``a`` and ``b`` commute from the current state.
+
+    Footprint disjointness (neither writes what the other touches) is
+    the structural condition; on top of it, two actions drawing on the
+    same exploration budget conflict when fewer than two units remain —
+    executing one then disables the other, so their orders are no
+    longer equivalent.
+    """
+    if a.writes() & (b.writes() | b.reads()):
+        return False
+    if b.writes() & (a.writes() | a.reads()):
+        return False
+    budget_a, budget_b = a.budget, b.budget
+    if budget_a is not None and budget_a == budget_b:
+        if budget_left.get(budget_a, 0) < 2:
+            return False
+    return True
+
+
+def action_to_json(action: Action) -> dict[str, object]:
+    """Stable JSON encoding of one action."""
+    if isinstance(action, Originate):
+        return {"kind": "update", "node": action.node, "item": action.item}
+    if isinstance(action, StartSession):
+        encoded: dict[str, object] = {
+            "kind": "session",
+            "initiator": action.initiator,
+            "responder": action.responder,
+        }
+        if action.fault is not None:
+            encoded["fault"] = {
+                "kind": action.fault.kind,
+                "after": action.fault.after,
+                "target": action.fault.target,
+            }
+        return encoded
+    if isinstance(action, Crash):
+        return {"kind": "crash", "node": action.node}
+    if isinstance(action, Recover):
+        return {"kind": "recover", "node": action.node}
+    if isinstance(action, FetchOutOfBound):
+        return {
+            "kind": "oob",
+            "node": action.node,
+            "item": action.item,
+            "peer": action.peer,
+        }
+    raise TraceFormatError(f"cannot encode action type {type(action).__name__}")
+
+
+def action_from_json(data: Mapping[str, object]) -> Action:
+    """Inverse of :func:`action_to_json`."""
+    kind = data.get("kind")
+    if kind not in _ACTION_KINDS:
+        raise TraceFormatError(f"unknown action kind: {kind!r}")
+    try:
+        if kind == "update":
+            return Originate(int(data["node"]), str(data["item"]))  # type: ignore[arg-type]
+        if kind == "session":
+            fault_data = data.get("fault")
+            fault = None
+            if fault_data is not None:
+                if not isinstance(fault_data, Mapping):
+                    raise TraceFormatError(f"malformed fault: {fault_data!r}")
+                fault = SessionFault(
+                    str(fault_data["kind"]),
+                    int(fault_data.get("after", 1)),  # type: ignore[arg-type]
+                    int(fault_data.get("target", -1)),  # type: ignore[arg-type]
+                )
+            return StartSession(
+                int(data["initiator"]), int(data["responder"]), fault  # type: ignore[arg-type]
+            )
+        if kind == "crash":
+            return Crash(int(data["node"]))  # type: ignore[arg-type]
+        if kind == "recover":
+            return Recover(int(data["node"]))  # type: ignore[arg-type]
+        return FetchOutOfBound(
+            int(data["node"]), str(data["item"]), int(data["peer"])  # type: ignore[arg-type]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed action: {dict(data)!r}") from exc

@@ -1,0 +1,99 @@
+"""Counterexample minimization.
+
+A violating schedule found by the DFS carries scheduling noise — actions
+that happened to be explored before the violating suffix but contribute
+nothing to the violation.  :func:`minimize_schedule` shrinks it by
+greedy delta-removal to fixpoint: repeatedly drop one action, replay the
+candidate from a fresh world, and keep the removal whenever *any*
+oracle violation remains (the violation kind may legitimately shift
+while shrinking — a smaller schedule may trip an earlier check, and any
+violation is a counterexample).  Candidates where a removal broke the
+schedule's internal prerequisites (a ``Recover`` whose ``Crash`` was
+removed, a fault without budget) replay as
+:class:`~repro.explore.actions.InapplicableActionError` and are simply
+rejected.
+
+Schedules are search-depth sized (≤ k ≈ 10), so the O(k²) replays are
+cheap; the closure memo inside the shared oracle makes repeated replays
+cheaper still.
+"""
+
+from __future__ import annotations
+
+from repro.explore.actions import Action, InapplicableActionError
+from repro.explore.engine import step
+from repro.explore.oracle import InvariantOracle, OracleViolation
+from repro.explore.world import ExplorationConfig, build_world
+
+__all__ = ["minimize_schedule", "replay_schedule"]
+
+
+def replay_schedule(
+    config: ExplorationConfig,
+    schedule: list[Action] | tuple[Action, ...],
+    oracle: InvariantOracle,
+) -> tuple[OracleViolation | None, int]:
+    """Run ``schedule`` from a fresh world under ``oracle``.
+
+    Returns ``(violation, steps_consumed)`` — the violation found (or
+    ``None``) and how many actions had been applied when it surfaced
+    (0 means the initial state itself violated).  Raises
+    :class:`InapplicableActionError` when the schedule asks for a
+    disabled action.
+    """
+    world = build_world(config)
+    violation = oracle.check_state(world) or oracle.check_quiescence(world)
+    if violation is not None:
+        return violation, 0
+    for index, action in enumerate(schedule):
+        world, violation = step(world, action, oracle)
+        if violation is not None:
+            return violation, index + 1
+    return None, len(schedule)
+
+
+def _try(
+    config: ExplorationConfig,
+    candidate: list[Action],
+    oracle: InvariantOracle,
+) -> tuple[OracleViolation | None, int]:
+    try:
+        return replay_schedule(config, candidate, oracle)
+    except InapplicableActionError:
+        return None, 0
+
+
+def minimize_schedule(
+    config: ExplorationConfig,
+    schedule: list[Action] | tuple[Action, ...],
+    oracle: InvariantOracle | None = None,
+) -> tuple[list[Action], OracleViolation]:
+    """Shrink a violating ``schedule`` to a locally minimal one.
+
+    Returns the minimized schedule and the violation it reproduces.
+    Raises ``ValueError`` when the input schedule does not violate at
+    all (a minimizer that silently returns non-counterexamples would
+    poison the trace artifacts).
+    """
+    oracle = oracle if oracle is not None else InvariantOracle()
+    current = list(schedule)
+    violation, consumed = _try(config, current, oracle)
+    if violation is None:
+        raise ValueError(
+            "schedule does not reproduce any oracle violation; nothing "
+            "to minimize"
+        )
+    current = current[:consumed]
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        for index in range(len(current) - 1, -1, -1):
+            candidate = current[:index] + current[index + 1 :]
+            candidate_violation, candidate_consumed = _try(
+                config, candidate, oracle
+            )
+            if candidate_violation is not None:
+                current = candidate[:candidate_consumed]
+                violation = candidate_violation
+                shrunk = True
+    return current, violation

@@ -1,0 +1,150 @@
+"""Replayable counterexample traces.
+
+A trace is a JSON file holding everything needed to re-create a
+violation independent of the search that found it: the exploration
+configuration, the (minimized) action schedule, and the violation the
+schedule reproduced when it was written.  ``python -m repro.explore
+--replay trace.json`` re-runs the schedule through
+:func:`~repro.explore.minimize.replay_schedule` and reports whether the
+violation still reproduces — the workflow for "CI found a bug, replay
+it locally, fix it, replay again".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.explore.actions import (
+    Action,
+    TraceFormatError,
+    action_from_json,
+    action_to_json,
+)
+from repro.explore.minimize import replay_schedule
+from repro.explore.oracle import InvariantOracle, OracleViolation
+from repro.explore.world import ExplorationConfig
+
+__all__ = ["Trace", "load_trace", "replay_trace", "save_trace"]
+
+TRACE_FORMAT = "repro-explore-trace"
+TRACE_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """One serialized counterexample (or exploration witness)."""
+
+    config: ExplorationConfig
+    schedule: tuple[Action, ...]
+    violation: OracleViolation | None = None
+    note: str = ""
+
+    def to_json(self) -> dict[str, object]:
+        encoded: dict[str, object] = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "config": self.config.to_json(),
+            "schedule": [action_to_json(action) for action in self.schedule],
+            "violation": None,
+            "note": self.note,
+        }
+        if self.violation is not None:
+            encoded["violation"] = {
+                "check": self.violation.check,
+                "detail": self.violation.detail,
+                "node": self.violation.node,
+            }
+        return encoded
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "Trace":
+        if data.get("format") != TRACE_FORMAT:
+            raise TraceFormatError(
+                f"not a {TRACE_FORMAT} file (format={data.get('format')!r})"
+            )
+        if data.get("version") != TRACE_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace version {data.get('version')!r}"
+            )
+        config_data = data.get("config")
+        schedule_data = data.get("schedule")
+        if not isinstance(config_data, dict) or not isinstance(
+            schedule_data, list
+        ):
+            raise TraceFormatError("trace is missing config/schedule")
+        violation = None
+        violation_data = data.get("violation")
+        if violation_data is not None:
+            if not isinstance(violation_data, dict):
+                raise TraceFormatError("malformed violation record")
+            violation = OracleViolation(
+                str(violation_data.get("check", "unknown")),
+                str(violation_data.get("detail", "")),
+                int(violation_data.get("node", -1)),  # type: ignore[arg-type]
+            )
+        return cls(
+            config=ExplorationConfig.from_json(config_data),
+            schedule=tuple(
+                action_from_json(entry) for entry in schedule_data
+            ),
+            violation=violation,
+            note=str(data.get("note", "")),
+        )
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` as pretty-printed JSON (diff-friendly artifacts)."""
+    Path(path).write_text(
+        json.dumps(trace.to_json(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"trace file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise TraceFormatError(f"trace file {path} does not hold an object")
+    return Trace.from_json(data)
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one trace."""
+
+    violation: OracleViolation | None
+    steps_consumed: int
+    expected: OracleViolation | None = None
+
+    @property
+    def reproduced(self) -> bool:
+        """The replay found a violation again.  The *kind* may differ
+        from the recorded one after code changes; ``matches_expected``
+        distinguishes that."""
+        return self.violation is not None
+
+    @property
+    def matches_expected(self) -> bool:
+        return (
+            self.violation is not None
+            and self.expected is not None
+            and self.violation.check == self.expected.check
+        )
+
+    def summary(self) -> str:
+        if self.violation is None:
+            return "no violation reproduced"
+        return self.violation.describe()
+
+
+def replay_trace(
+    trace: Trace, oracle: InvariantOracle | None = None
+) -> ReplayReport:
+    """Re-run ``trace`` through the oracle; see :class:`ReplayReport`."""
+    oracle = oracle if oracle is not None else InvariantOracle()
+    violation, consumed = replay_schedule(trace.config, trace.schedule, oracle)
+    return ReplayReport(violation, consumed, trace.violation)

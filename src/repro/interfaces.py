@@ -391,5 +391,37 @@ class ProtocolNode(abc.ABC):
         cannot detect conflicts — their silence is itself a finding)."""
         return 0
 
+    # -- model-checking hooks (repro.explore) --------------------------------
+
+    def exploration_key(self) -> tuple | None:
+        """A canonical, hashable encoding of this replica's *complete*
+        behavioural state, or ``None`` when the protocol opts out of
+        exhaustive exploration.
+
+        Contract (docs/PROTOCOL.md section 11): two nodes with equal
+        keys must react identically to every future input — the key
+        covers all durable protocol state (values, version metadata,
+        logs, conflict flags), not just the value map, and excludes
+        measurement state (counters, conflict *histories* beyond what
+        the protocol itself reads back).  The explorer hashes these
+        keys to prune revisited global states, so an under-inclusive
+        key silently hides reachable behaviours.
+        """
+        return None
+
+    def exploration_vectors(self) -> dict[str, tuple[int, ...]]:
+        """This replica's monotonic version-vector state, as labelled
+        component tuples — e.g. ``{"dbvv": (...), "ivv:x0": (...)}``.
+
+        The exploration oracle asserts that every labelled vector grows
+        component-wise along every transition (criterion C2: a replica
+        never adopts a non-dominating copy, so no counter ever moves
+        backwards).  Only include vectors that genuinely never regress;
+        transient state (the DBVV protocol's auxiliary copies, which
+        are discarded wholesale) must be left out.  The default — no
+        vectors — makes the monotonicity check vacuous.
+        """
+        return {}
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(id={self.node_id}/{self.n_nodes})"

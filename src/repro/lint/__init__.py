@@ -21,12 +21,19 @@ R5  tautological-invariant  self-referential ``check_invariants`` comparisons
                             max_seqno)`` tautology)
 R6  frozen-message          message dataclasses that are not frozen+slotted,
                             so session replay under retry could alias state
+R7  complexity-budget       full item/node-space scans on the session path,
+                            which silently re-introduce the O(N) cost the
+                            paper's protocol exists to avoid
 ==  ======================  ==================================================
 
 Run it over the tree with ``python -m repro.lint src tests benchmarks``.
 Suppress a finding on one line with ``# lint: skip=<ID>`` (comma-
 separated for several) and a whole file with ``# lint: skip-file``;
-every suppression should carry a justifying comment.
+R7 findings are suppressed only by ``# pragma: full-scan <reason>``
+with a non-empty reason.  Every suppression should carry a justifying
+comment.  Each run also audits the suppressions themselves: a pragma
+whose line no longer produces the finding it suppresses is reported
+under the pseudo rule id ``PRAGMA`` and fails the run.
 """
 
 from __future__ import annotations

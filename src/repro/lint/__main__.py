@@ -1,7 +1,17 @@
 """Command-line entry point: ``python -m repro.lint src tests benchmarks``.
 
-Exit status 0 when the tree is clean, 1 when any rule fires (or a file
-fails to parse), 2 on usage errors (argparse's convention).
+Every run does two passes over the tree:
+
+1. **lint** — the rule registry (R1–R7), with ``# lint: skip=<ID>`` /
+   ``# pragma: full-scan <reason>`` suppressions honoured;
+2. **pragma audit** — flags suppressions that suppress nothing
+   (refactored-away violations leave stale pragmas that silently re-arm
+   later); reported under the pseudo rule id ``PRAGMA``.
+
+Exit status 0 when both passes are clean, 1 when any rule fires, a file
+fails to parse, or a stale pragma is found, and 2 on usage errors or an
+internal linter crash (so CI can tell "the code is bad" from "the
+linter is bad").
 """
 
 from __future__ import annotations
@@ -10,7 +20,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.lint.engine import lint_paths
+from repro.lint.engine import Violation, audit_file, collect_files, lint_file
 from repro.lint.rules import ALL_RULES, rules_by_id
 
 
@@ -19,7 +29,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "Protocol-aware static analysis for the epidemic-replication "
-            "codebase (rules R1-R6; see docs/DEVELOPING.md)."
+            "codebase (rules R1-R7; see docs/DEVELOPING.md)."
         ),
     )
     parser.add_argument(
@@ -37,7 +47,23 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="IDS",
         help="comma-separated rule ids to run (default: all)",
     )
+    parser.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the stale-pragma audit pass",
+    )
     return parser
+
+
+def _per_rule_summary(violations: Sequence[Violation]) -> str:
+    """``R3:2 R7:9 PRAGMA:1`` — counts in rule-id order."""
+    counts: dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+    order = [rule.rule_id for rule in ALL_RULES] + ["PARSE", "PRAGMA"]
+    known = [rid for rid in order if rid in counts]
+    extra = sorted(set(counts) - set(order))
+    return " ".join(f"{rid}:{counts[rid]}" for rid in known + extra)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -61,16 +87,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         rules = ALL_RULES
 
-    violations, files_checked = lint_paths(args.paths, rules)
+    try:
+        files = collect_files(args.paths)
+        violations: list[Violation] = []
+        for path in files:
+            violations.extend(lint_file(path, rules))
+            if not args.no_audit:
+                violations.extend(audit_file(path, rules))
+    except Exception as exc:  # noqa: B902 - exit 2 distinguishes linter crashes
+        print(
+            f"internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+
     for violation in violations:
         print(violation.render())
     if violations:
         print(
-            f"{len(violations)} violation(s) in {files_checked} file(s) checked",
+            f"{len(violations)} violation(s) in {len(files)} file(s) "
+            f"checked  [{_per_rule_summary(violations)}]",
             file=sys.stderr,
         )
         return 1
-    print(f"clean: {files_checked} file(s) checked", file=sys.stderr)
+    print(f"clean: {len(files)} file(s) checked", file=sys.stderr)
     return 0
 
 

@@ -15,7 +15,9 @@ fixture tests exercise path-scoped rules without touching real code.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -24,6 +26,8 @@ __all__ = [
     "FileScope",
     "LintRule",
     "Violation",
+    "audit_file",
+    "audit_pragmas",
     "collect_files",
     "lint_file",
     "lint_paths",
@@ -40,6 +44,12 @@ EXCLUDED_DIR_NAMES = frozenset(
 
 _PRAGMA_LINE = re.compile(r"#\s*lint:\s*skip=([A-Za-z0-9_,\s]+)")
 _PRAGMA_FILE = re.compile(r"#\s*lint:\s*skip-file\b")
+#: The ``pragma: full-scan <reason>`` comment — suppresses R7 only, and
+#: only with a non-empty reason: an unexplained full scan is exactly
+#: what R7 is for.  The bare form is matched separately so the audit
+#: can demand the missing reason instead of silently not suppressing.
+_PRAGMA_FULL_SCAN = re.compile(r"#\s*pragma:\s*full-scan\s+(\S.*)")
+_PRAGMA_FULL_SCAN_BARE = re.compile(r"#\s*pragma:\s*full-scan\s*(?:#|$)")
 
 
 @dataclass(frozen=True)
@@ -135,13 +145,30 @@ def make_scope(path: str | Path) -> FileScope:
     return FileScope(posix, package)
 
 
+def _comments_by_line(source: str) -> dict[int, str]:
+    """Comment text (``#`` included) keyed by line number, via
+    :mod:`tokenize` — so pragma look-alikes inside docstrings and string
+    literals are never mistaken for live pragmas."""
+    comments: dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable files are reported as PARSE by lint_source
+    return comments
+
+
 def _suppressed_rules(line: str) -> frozenset[str]:
+    suppressed: set[str] = set()
     match = _PRAGMA_LINE.search(line)
-    if match is None:
-        return frozenset()
-    return frozenset(
-        token.strip() for token in match.group(1).split(",") if token.strip()
-    )
+    if match is not None:
+        suppressed.update(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+    if _PRAGMA_FULL_SCAN.search(line):
+        suppressed.add("R7")
+    return frozenset(suppressed)
 
 
 def lint_source(
@@ -158,10 +185,6 @@ def lint_source(
     """
     if scope is None:
         scope = make_scope(path)
-    lines = source.splitlines()
-    for line in lines[:5]:
-        if _PRAGMA_FILE.search(line):
-            return []
     try:
         tree = ast.parse(source, filename=scope.posix)
     except SyntaxError as exc:
@@ -174,14 +197,18 @@ def lint_source(
                 f"file does not parse: {exc.msg}",
             )
         ]
+    comments = _comments_by_line(source)
+    if any(
+        _PRAGMA_FILE.search(text) for line, text in comments.items() if line <= 5
+    ):
+        return []
     findings: list[Violation] = []
     for rule in rules:
         if rule.applies_to(scope):
             findings.extend(rule.check(tree, scope))
     kept: list[Violation] = []
     for violation in findings:
-        line_text = lines[violation.line - 1] if violation.line <= len(lines) else ""
-        if violation.rule_id in _suppressed_rules(line_text):
+        if violation.rule_id in _suppressed_rules(comments.get(violation.line, "")):
             continue
         kept.append(violation)
     kept.sort(key=lambda v: (v.line, v.col, v.rule_id))
@@ -212,6 +239,106 @@ def collect_files(paths: Iterable[str | Path]) -> list[Path]:
         elif path.suffix == ".py":
             collected.add(path)
     return sorted(collected)
+
+
+def audit_pragmas(
+    source: str,
+    path: str | Path,
+    rules: Sequence[LintRule],
+    scope: FileScope | None = None,
+) -> list[Violation]:
+    """Flag stale suppressions: pragmas whose line no longer produces
+    the finding they suppress.
+
+    A pragma that suppresses nothing is residue from refactored code —
+    it reads as "this line is exempt" while exempting nothing today and,
+    worse, silently re-arming if the violation ever comes back on a
+    *different* line.  Findings use the pseudo rule id ``PRAGMA``.
+    Pragmas for rules outside ``rules`` are not judged (a ``--select``
+    run cannot know whether an unselected rule still fires).
+    """
+    if scope is None:
+        scope = make_scope(path)
+    try:
+        tree = ast.parse(source, filename=scope.posix)
+    except SyntaxError:
+        return []  # lint_source already reports PARSE
+    selected = {rule.rule_id for rule in rules}
+    raw: list[Violation] = []
+    for rule in rules:
+        if rule.applies_to(scope):
+            raw.extend(rule.check(tree, scope))
+    fired_by_line: dict[int, set[str]] = {}
+    for violation in raw:
+        fired_by_line.setdefault(violation.line, set()).add(violation.rule_id)
+    comments = _comments_by_line(source)
+    skip_file = any(
+        _PRAGMA_FILE.search(text) for line, text in comments.items() if line <= 5
+    )
+    findings: list[Violation] = []
+    for lineno, line in sorted(comments.items()):
+        fired = fired_by_line.get(lineno, set())
+        match = _PRAGMA_LINE.search(line)
+        if match is not None:
+            for token in match.group(1).split(","):
+                rule_id = token.strip()
+                if rule_id and rule_id in selected and rule_id not in fired:
+                    findings.append(
+                        Violation(
+                            "PRAGMA",
+                            scope.posix,
+                            lineno,
+                            match.start() + 1,
+                            f"stale `lint: skip={rule_id}`: {rule_id} no "
+                            "longer fires on this line; drop the pragma",
+                        )
+                    )
+        if "R7" in selected:
+            full_scan = _PRAGMA_FULL_SCAN.search(line)
+            if full_scan is not None and "R7" not in fired:
+                findings.append(
+                    Violation(
+                        "PRAGMA",
+                        scope.posix,
+                        lineno,
+                        full_scan.start() + 1,
+                        "stale `pragma: full-scan`: this line no longer "
+                        "scans a full item/node space; drop the pragma",
+                    )
+                )
+            elif full_scan is None:
+                bare = _PRAGMA_FULL_SCAN_BARE.search(line)
+                if bare is not None:
+                    findings.append(
+                        Violation(
+                            "PRAGMA",
+                            scope.posix,
+                            lineno,
+                            bare.start() + 1,
+                            "`pragma: full-scan` without a reason does not "
+                            "suppress; state why the scan is inherent "
+                            "(`# pragma: full-scan <reason>`)",
+                        )
+                    )
+    if skip_file and not raw:
+        findings.append(
+            Violation(
+                "PRAGMA",
+                scope.posix,
+                1,
+                1,
+                "stale `lint: skip-file`: no selected rule fires anywhere "
+                "in this file; drop the pragma",
+            )
+        )
+    findings.sort(key=lambda v: (v.line, v.col))
+    return findings
+
+
+def audit_file(path: str | Path, rules: Sequence[LintRule]) -> list[Violation]:
+    """Run :func:`audit_pragmas` on one file from disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return audit_pragmas(text, path, rules)
 
 
 def lint_paths(

@@ -18,6 +18,7 @@ from repro.lint.rules.r3_determinism import DeterminismRule
 from repro.lint.rules.r4_encapsulation import EncapsulationRule
 from repro.lint.rules.r5_tautology import TautologicalInvariantRule
 from repro.lint.rules.r6_frozen_messages import FrozenMessageRule
+from repro.lint.rules.r7_complexity import ComplexityBudgetRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
@@ -29,6 +30,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     EncapsulationRule(),
     TautologicalInvariantRule(),
     FrozenMessageRule(),
+    ComplexityBudgetRule(),
 )
 
 

@@ -19,6 +19,11 @@ found.
 * no wall-clock reads (``time.time()``, ``time.monotonic()``,
   ``time.perf_counter()`` and their ``_ns`` variants) — simulated time
   comes from :mod:`repro.substrate.clock`;
+* no OS-entropy identifiers or bytes (``uuid.uuid4()``, ``uuid.uuid1()``,
+  ``os.urandom()``) — they are unseeded randomness with a different
+  spelling; derive ids from the run seed and node/event counters;
+* no ``id()``-based ordering (``sorted(..., key=id)`` and friends) —
+  CPython ids are allocation addresses, different every run;
 * no iteration over a bare ``set``/``frozenset`` expression and no
   ``hash()`` of one — iteration order depends on the per-process hash
   seed for strings; sort it or keep a list.
@@ -43,6 +48,12 @@ _WALL_CLOCK_FUNCS = frozenset(
         "perf_counter_ns",
     }
 )
+
+#: OS-entropy sources by module: unseeded randomness under other names.
+_ENTROPY_FUNCS = {
+    "uuid": frozenset({"uuid1", "uuid4"}),
+    "os": frozenset({"urandom"}),
+}
 
 
 def _is_set_expression(node: ast.expr) -> bool:
@@ -84,8 +95,29 @@ class DeterminismRule(LintRule):
 
     def _check_call(self, node: ast.Call, scope: FileScope) -> Iterator[Violation]:
         func = node.func
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "key"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id == "id"
+            ):
+                yield self.violation(
+                    scope,
+                    node,
+                    "ordering by key=id sorts on allocation addresses, "
+                    "which differ every run; order by a stable field "
+                    "instead",
+                )
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             module, attr = func.value.id, func.attr
+            if attr in _ENTROPY_FUNCS.get(module, frozenset()):
+                yield self.violation(
+                    scope,
+                    node,
+                    f"{module}.{attr}() draws OS entropy (unseeded "
+                    "randomness); derive identifiers from the run seed "
+                    "and node/event counters",
+                )
             if module == "random":
                 if attr == "Random":
                     if not node.args and not node.keywords:
@@ -144,4 +176,15 @@ class DeterminismRule(LintRule):
                         f"`from time import {alias.name}` pulls in the wall "
                         "clock; simulation time comes from "
                         "repro.substrate.clock",
+                    )
+        elif node.module in _ENTROPY_FUNCS:
+            entropy = _ENTROPY_FUNCS[node.module]
+            for alias in node.names:
+                if alias.name in entropy:
+                    yield self.violation(
+                        scope,
+                        node,
+                        f"`from {node.module} import {alias.name}` pulls in "
+                        "OS entropy (unseeded randomness); derive "
+                        "identifiers from the run seed and counters",
                     )

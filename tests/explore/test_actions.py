@@ -1,0 +1,80 @@
+"""Action alphabet: JSON round-trips and the independence relation."""
+
+import pytest
+
+from repro.explore.actions import (
+    Crash,
+    FetchOutOfBound,
+    Originate,
+    Recover,
+    SessionFault,
+    StartSession,
+    TraceFormatError,
+    action_from_json,
+    action_to_json,
+    independent,
+)
+
+ALL_ACTION_SHAPES = [
+    Originate(0, "x0"),
+    StartSession(0, 1),
+    StartSession(1, 0, SessionFault("drop", after=2)),
+    StartSession(0, 1, SessionFault("crash", after=1, target=1)),
+    Crash(1),
+    Recover(1),
+    FetchOutOfBound(0, "x1", 1),
+]
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "action", ALL_ACTION_SHAPES, ids=lambda a: a.describe()
+    )
+    def test_round_trip_is_identity(self, action):
+        assert action_from_json(action_to_json(action)) == action
+
+    def test_unknown_kind_is_a_trace_format_error(self):
+        with pytest.raises(TraceFormatError):
+            action_from_json({"kind": "teleport"})
+
+    def test_malformed_fault_is_rejected(self):
+        with pytest.raises(TraceFormatError):
+            SessionFault("drop", after=0)
+        with pytest.raises(TraceFormatError):
+            SessionFault("crash", after=1)  # no target
+
+
+class TestIndependence:
+    BUDGETS = {"updates": 5, "faults": 5, "crashes": 5, "oob": 5}
+
+    def test_disjoint_sessions_commute(self):
+        assert independent(
+            StartSession(0, 1), StartSession(2, 3), self.BUDGETS
+        )
+
+    def test_sessions_sharing_a_node_conflict(self):
+        assert not independent(
+            StartSession(0, 1), StartSession(1, 2), self.BUDGETS
+        )
+
+    def test_update_at_uninvolved_node_commutes_with_session(self):
+        assert independent(
+            Originate(2, "x0"), StartSession(0, 1), self.BUDGETS
+        )
+
+    def test_update_at_initiator_conflicts_with_session(self):
+        assert not independent(
+            Originate(0, "x0"), StartSession(0, 1), self.BUDGETS
+        )
+
+    def test_independence_is_symmetric(self):
+        for a in ALL_ACTION_SHAPES:
+            for b in ALL_ACTION_SHAPES:
+                assert independent(a, b, self.BUDGETS) == independent(
+                    b, a, self.BUDGETS
+                ), (a, b)
+
+    def test_shared_budget_with_one_unit_left_conflicts(self):
+        a, b = Originate(0, "x0"), Originate(1, "x0")
+        assert independent(a, b, {"updates": 2})
+        assert not independent(a, b, {"updates": 1})

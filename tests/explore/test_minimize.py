@@ -1,0 +1,41 @@
+"""Minimizer contract: refuses non-counterexamples, rejects broken
+shrink candidates via InapplicableActionError."""
+
+import pytest
+
+from repro.explore import ExplorationConfig, Originate, StartSession
+from repro.explore.actions import InapplicableActionError, Recover
+from repro.explore.minimize import minimize_schedule, replay_schedule
+from repro.explore.oracle import InvariantOracle
+
+CONFIG = ExplorationConfig(
+    protocol="dbvv",
+    n_nodes=2,
+    items=("x0",),
+    max_updates=2,
+    max_faults=0,
+    max_crashes=0,
+    max_oob=0,
+    fault_variants=False,
+)
+
+
+def test_non_violating_schedule_is_refused():
+    schedule = [Originate(0, "x0"), StartSession(1, 0)]
+    with pytest.raises(ValueError):
+        minimize_schedule(CONFIG, schedule)
+
+
+def test_replay_rejects_disabled_actions():
+    # A Recover without a preceding Crash is not enabled.
+    with pytest.raises(InapplicableActionError):
+        replay_schedule(CONFIG, [Recover(0)], InvariantOracle())
+
+
+def test_replay_of_clean_schedule_consumes_everything():
+    schedule = [Originate(0, "x0"), StartSession(1, 0)]
+    violation, consumed = replay_schedule(
+        CONFIG, schedule, InvariantOracle()
+    )
+    assert violation is None
+    assert consumed == len(schedule)

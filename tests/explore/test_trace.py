@@ -1,0 +1,84 @@
+"""Trace artifacts: JSON round-trip, replay, format rejection."""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    ExplorationConfig,
+    OracleViolation,
+    Originate,
+    StartSession,
+    Trace,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+from repro.explore.actions import SessionFault, TraceFormatError
+
+CONFIG = ExplorationConfig(
+    protocol="dbvv",
+    n_nodes=2,
+    items=("x0",),
+    max_updates=2,
+    max_faults=1,
+    max_crashes=0,
+    max_oob=0,
+)
+
+SCHEDULE = (
+    Originate(0, "x0"),
+    StartSession(1, 0, SessionFault("drop", after=2)),
+    StartSession(1, 0),
+)
+
+
+class TestRoundTrip:
+    def test_save_load_is_identity(self, tmp_path):
+        trace = Trace(
+            CONFIG,
+            SCHEDULE,
+            OracleViolation("convergence", "divergent fixpoint", 1),
+            note="unit test",
+        )
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.config == trace.config
+        assert loaded.schedule == trace.schedule
+        assert loaded.violation.check == "convergence"
+        assert loaded.note == "unit test"
+
+    def test_trace_json_is_versioned(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(Trace(CONFIG, SCHEDULE), path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-explore-trace"
+        assert data["version"] == 1
+
+    def test_wrong_format_is_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_invalid_json_is_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+
+class TestReplay:
+    def test_clean_schedule_reports_no_violation(self):
+        report = replay_trace(Trace(CONFIG, SCHEDULE))
+        assert not report.reproduced
+        assert report.steps_consumed == len(SCHEDULE)
+        assert report.summary() == "no violation reproduced"
+
+    def test_expected_violation_is_compared_on_replay(self):
+        trace = Trace(
+            CONFIG, SCHEDULE, OracleViolation("convergence", "stale", 0)
+        )
+        report = replay_trace(trace)
+        assert not report.matches_expected

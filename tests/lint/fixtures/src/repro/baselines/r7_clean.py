@@ -1,0 +1,25 @@
+"""R7 clean counterpart: session-path code iterates *message content*
+(the O(m) shape), and the one inherent full scan carries a reasoned
+``# pragma: full-scan`` annotation."""
+
+
+class TailShippingNode:
+    def __init__(self, node_id, n_nodes, items):
+        self.node_id = node_id
+        self.n_nodes = n_nodes
+        self._values = {name: b"" for name in items}
+        self._log = []
+
+    def sync_with(self, peer, transport):
+        message = transport.deliver(self.node_id, peer.node_id, object())
+        applied = 0
+        for record in message.records:
+            self._values[record.item] = record.value
+            applied += 1
+        return applied
+
+    def _serve_fetch(self, fetch):
+        return tuple(self._values[name] for name in fetch.names)
+
+    def _build_gossip(self, requester):
+        return [record for record in self._log]  # pragma: full-scan fixture stand-in for an inherent whole-log scan

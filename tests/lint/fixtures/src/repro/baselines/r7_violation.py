@@ -1,0 +1,28 @@
+"""R7 fixture: session-path functions that scan the full item or node
+space — the O(N) shape the paper's protocol exists to avoid."""
+
+
+class ScanHappyNode:
+    def __init__(self, node_id, n_nodes, items):
+        self.node_id = node_id
+        self.n_nodes = n_nodes
+        self._values = {name: b"" for name in items}
+        self._ivvs = {name: () for name in items}
+        self._log = []
+        self._table = [[0] * n_nodes for _ in range(n_nodes)]
+
+    def sync_with(self, peer, transport):
+        changed = []
+        for name in self._values:
+            changed.append(name)
+        for k in range(self.n_nodes):
+            changed.append(k)
+        return changed
+
+    def _serve_ivv_list(self, request):
+        return tuple((name, ivv) for name, ivv in self._ivvs.items())
+
+    def _build_gossip(self, requester):
+        selected = [record for record in self._log]
+        rows = tuple(tuple(row) for row in self._table)
+        return selected, rows

@@ -20,3 +20,11 @@ def stable_order(node_ids):
     for node_id in sorted({2, 0, 1}):
         order.append(node_id)
     return order
+
+
+def session_id(node_id, counter):
+    return (node_id, counter)
+
+
+def stable_sort(nodes):
+    return sorted(nodes, key=lambda node: node.node_id)

@@ -1,7 +1,9 @@
 """R3 fixture: every kind of nondeterminism the rule guards against."""
 
+import os
 import random
 import time
+import uuid
 
 
 def jitter():
@@ -21,3 +23,15 @@ def leak_set_order(node_ids):
     for node_id in {2, 0, 1}:
         order.append(node_id)
     return order
+
+
+def fresh_session_id():
+    return uuid.uuid4()
+
+
+def fresh_nonce():
+    return os.urandom(8)
+
+
+def address_order(nodes):
+    return sorted(nodes, key=id)

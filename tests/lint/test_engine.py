@@ -5,7 +5,7 @@ import sys
 from pathlib import Path
 
 from repro.lint import ALL_RULES, lint_source, make_scope
-from repro.lint.engine import collect_files
+from repro.lint.engine import audit_pragmas, collect_files
 from repro.lint.rules import rules_by_id
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -60,6 +60,68 @@ class TestPragmas:
         assert any(v.rule_id == "R1" for v in findings)
 
 
+FULL_SCAN_LOOP = (
+    "def sync_with(self, peer, transport):\n"
+    "    for name in self._values:{comment}\n"
+    "        pass\n"
+)
+
+
+class TestFullScanPragma:
+    def test_reasoned_pragma_suppresses_r7(self):
+        source = FULL_SCAN_LOOP.format(
+            comment="  # pragma: full-scan inherent to this baseline"
+        )
+        assert lint_source(source, "src/repro/baselines/b.py", ALL_RULES) == []
+
+    def test_bare_pragma_does_not_suppress(self):
+        source = FULL_SCAN_LOOP.format(comment="  # pragma: full-scan")
+        findings = lint_source(source, "src/repro/baselines/b.py", ALL_RULES)
+        assert any(v.rule_id == "R7" for v in findings)
+
+
+class TestPragmaAudit:
+    def test_live_pragmas_pass_the_audit(self):
+        source = FULL_SCAN_LOOP.format(
+            comment="  # pragma: full-scan inherent to this baseline"
+        )
+        assert audit_pragmas(source, "src/repro/baselines/b.py", ALL_RULES) == []
+
+    def test_stale_skip_pragma_is_flagged(self):
+        source = "def f(x):\n    return x  # lint: skip=R1\n"
+        findings = audit_pragmas(source, "src/repro/core/m.py", ALL_RULES)
+        assert any("stale" in v.message for v in findings)
+        assert all(v.rule_id == "PRAGMA" for v in findings)
+
+    def test_stale_full_scan_pragma_is_flagged(self):
+        source = (
+            "def sync_with(self, message):\n"
+            "    for record in message.records:  # pragma: full-scan old reason\n"
+            "        pass\n"
+        )
+        findings = audit_pragmas(source, "src/repro/baselines/b.py", ALL_RULES)
+        assert any("stale" in v.message for v in findings)
+
+    def test_bare_full_scan_pragma_is_flagged(self):
+        source = FULL_SCAN_LOOP.format(comment="  # pragma: full-scan")
+        findings = audit_pragmas(source, "src/repro/baselines/b.py", ALL_RULES)
+        assert any("without a reason" in v.message for v in findings)
+
+    def test_stale_skip_file_pragma_is_flagged(self):
+        source = "# lint: skip-file\ndef f(x):\n    return x\n"
+        findings = audit_pragmas(source, "src/repro/core/m.py", ALL_RULES)
+        assert any("skip-file" in v.message for v in findings)
+
+    def test_pragma_text_inside_strings_is_ignored(self):
+        source = 'DOC = "use # pragma: full-scan <reason> to annotate"\n'
+        assert audit_pragmas(source, "src/repro/core/m.py", ALL_RULES) == []
+
+    def test_unselected_rules_are_not_judged(self):
+        source = "def f(x):\n    return x  # lint: skip=R1\n"
+        rules = rules_by_id("R3")
+        assert audit_pragmas(source, "src/repro/core/m.py", rules) == []
+
+
 class TestParseFailures:
     def test_unparseable_file_reports_parse_violation(self):
         findings = lint_source("def f(:\n", "src/repro/core/broken.py", ALL_RULES)
@@ -81,8 +143,8 @@ class TestFileDiscovery:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered_in_order(self):
-        assert [r.rule_id for r in ALL_RULES] == [f"R{i}" for i in range(1, 7)]
+    def test_all_seven_rules_registered_in_order(self):
+        assert [r.rule_id for r in ALL_RULES] == [f"R{i}" for i in range(1, 8)]
 
     def test_rule_ids_are_unique_and_documented(self):
         ids = [r.rule_id for r in ALL_RULES]
@@ -136,3 +198,22 @@ class TestCli:
 
     def test_no_paths_is_a_usage_error(self):
         assert self._run().returncode == 2
+
+    def test_summary_counts_per_rule(self):
+        target = "tests/lint/fixtures/src/repro/cluster/r3_violation.py"
+        result = self._run(target)
+        assert result.returncode == 1
+        assert "R3:" in result.stderr
+
+    def test_stale_pragma_fails_the_run(self, tmp_path):
+        target = tmp_path / "stale.py"
+        target.write_text("def f(x):\n    return x  # lint: skip=R1\n")
+        result = self._run(str(target))
+        assert result.returncode == 1
+        assert "PRAGMA" in result.stdout
+
+    def test_no_audit_skips_the_pragma_pass(self, tmp_path):
+        target = tmp_path / "stale.py"
+        target.write_text("def f(x):\n    return x  # lint: skip=R1\n")
+        result = self._run("--no-audit", str(target))
+        assert result.returncode == 0

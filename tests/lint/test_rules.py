@@ -19,10 +19,11 @@ FIXTURES = Path(__file__).parent / "fixtures"
 VIOLATION_FIXTURES = {
     "R1": (FIXTURES / "src/repro/core/r1_violation.py", 1),
     "R2": (FIXTURES / "r2_violation.py", 1),
-    "R3": (FIXTURES / "src/repro/cluster/r3_violation.py", 4),
+    "R3": (FIXTURES / "src/repro/cluster/r3_violation.py", 7),
     "R4": (FIXTURES / "src/repro/cluster/r4_violation.py", 4),
     "R5": (FIXTURES / "src/repro/core/r5_violation.py", 1),
     "R6": (FIXTURES / "src/repro/cluster/r6_violation.py", 3),
+    "R7": (FIXTURES / "src/repro/baselines/r7_violation.py", 4),
 }
 
 CLEAN_FIXTURES = {
@@ -32,6 +33,7 @@ CLEAN_FIXTURES = {
     "R4": FIXTURES / "src/repro/cluster/r4_clean.py",
     "R5": FIXTURES / "src/repro/core/r5_clean.py",
     "R6": FIXTURES / "src/repro/cluster/r6_clean.py",
+    "R7": FIXTURES / "src/repro/baselines/r7_clean.py",
 }
 
 
