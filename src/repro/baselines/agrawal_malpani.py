@@ -32,7 +32,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.messages import WORD_SIZE
+from repro.core.messages import (
+    WORD_SIZE,
+    lww_record_wire_size,
+    payload_list_wire_size,
+)
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
     ContentDigest,
@@ -63,7 +67,7 @@ class AMRecord:
         return (self.seqno, self.origin)
 
     def wire_size(self) -> int:
-        return 3 * WORD_SIZE + len(self.value)
+        return lww_record_wire_size(self.item, self.value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,7 +76,7 @@ class _LogPush:
     records: tuple[AMRecord, ...]
 
     def wire_size(self) -> int:
-        return WORD_SIZE + sum(record.wire_size() for record in self.records)
+        return WORD_SIZE + payload_list_wire_size(self.records)
 
 
 @dataclass(frozen=True, slots=True)

@@ -38,7 +38,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.messages import WORD_SIZE
+from repro.core.messages import (
+    WORD_SIZE,
+    lww_record_wire_size,
+    name_list_wire_size,
+    string_wire_size,
+)
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
     ContentDigest,
@@ -89,7 +94,10 @@ class _ChangeList:
     entries: tuple[tuple[str, int, int], ...]
 
     def wire_size(self) -> int:
-        return WORD_SIZE + 3 * WORD_SIZE * len(self.entries)
+        return WORD_SIZE + sum(
+            2 * WORD_SIZE + string_wire_size(name)
+            for name, _seqno, _writer in self.entries
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,7 +106,7 @@ class _DocFetch:
     names: tuple[str, ...]
 
     def wire_size(self) -> int:
-        return WORD_SIZE + WORD_SIZE * len(self.names)
+        return WORD_SIZE + name_list_wire_size(self.names)
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,7 +116,8 @@ class _DocShipment:
 
     def wire_size(self) -> int:
         return WORD_SIZE + sum(
-            3 * WORD_SIZE + len(value) for _n, value, _s, _w in self.docs
+            lww_record_wire_size(name, value)
+            for name, value, _seqno, _writer in self.docs
         )
 
 

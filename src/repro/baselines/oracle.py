@@ -30,7 +30,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.failures import CrashAfterPartialPush
-from repro.core.messages import WORD_SIZE
+from repro.core.messages import (
+    WORD_SIZE,
+    lww_record_wire_size,
+    payload_list_wire_size,
+)
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
     ContentDigest,
@@ -61,7 +65,7 @@ class UpdateRecord:
         return (self.seqno, self.origin)
 
     def wire_size(self) -> int:
-        return 3 * WORD_SIZE + len(self.value)
+        return lww_record_wire_size(self.item, self.value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,7 +74,7 @@ class _PushBatch:
     records: tuple[UpdateRecord, ...]
 
     def wire_size(self) -> int:
-        return WORD_SIZE + sum(record.wire_size() for record in self.records)
+        return WORD_SIZE + payload_list_wire_size(self.records)
 
 
 class OraclePushNode(ProtocolNode):

@@ -23,7 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.messages import WORD_SIZE, ItemPayload, vv_wire_size
+from repro.core.messages import (
+    WORD_SIZE,
+    ItemPayload,
+    name_list_wire_size,
+    named_vv_list_wire_size,
+    payload_list_wire_size,
+)
 from repro.core.version_vector import Ordering, VersionVector
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
@@ -59,9 +65,7 @@ class _IVVListReply:
     ivvs: tuple[tuple[str, VersionVector], ...]
 
     def wire_size(self) -> int:
-        return WORD_SIZE + sum(
-            WORD_SIZE + vv_wire_size(ivv) for _name, ivv in self.ivvs
-        )
+        return WORD_SIZE + named_vv_list_wire_size(self.ivvs)
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,7 +76,7 @@ class _ItemFetch:
     names: tuple[str, ...]
 
     def wire_size(self) -> int:
-        return WORD_SIZE + WORD_SIZE * len(self.names)
+        return WORD_SIZE + name_list_wire_size(self.names)
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,7 +87,7 @@ class _ItemShipment:
     payloads: tuple[ItemPayload, ...]
 
     def wire_size(self) -> int:
-        return WORD_SIZE + sum(p.wire_size() for p in self.payloads)
+        return WORD_SIZE + payload_list_wire_size(self.payloads)
 
 
 class PerItemVVNode(ProtocolNode):

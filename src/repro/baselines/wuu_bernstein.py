@@ -34,7 +34,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.messages import WORD_SIZE
+from repro.core.messages import (
+    WORD_SIZE,
+    lww_record_wire_size,
+    payload_list_wire_size,
+)
 from repro.errors import MessageLostError, NodeDownError, UnknownItemError
 from repro.interfaces import (
     ContentDigest,
@@ -64,7 +68,7 @@ class GossipRecord:
         return (self.seqno, self.origin)
 
     def wire_size(self) -> int:
-        return 3 * WORD_SIZE + len(self.value)
+        return lww_record_wire_size(self.item, self.value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,7 +82,7 @@ class _GossipMessage:
         return (
             WORD_SIZE
             + WORD_SIZE * n * n
-            + sum(record.wire_size() for record in self.records)
+            + payload_list_wire_size(self.records)
         )
 
 

@@ -22,7 +22,18 @@ properties the experiments need:
   every byte.  Messages dropped *in flight* (loss model or scripted
   drop) are charged like delivered ones — they left the sender — and
   additionally tracked in the drop counters; only a connect-time
-  failure (dead or partitioned endpoint) is free.
+  failure (dead or partitioned endpoint) is free;
+* **encoded mode** — with ``wire=True`` (or ``REPRO_WIRE=1``) every
+  delivery is encoded to a real binary frame by
+  :class:`~repro.wire.WireCodec` at send and decoded back at receive,
+  and all byte counters charge ``len(frame)`` instead of the modelled
+  ``wire_size()`` (which is still accumulated, in
+  ``modelled_bytes_sent``, so the model's drift is measurable).  The
+  codec's delta-compressed version vectors make the caches part of the
+  link state, so the network invalidates them on crash and recovery
+  (:meth:`set_down` / :meth:`set_up`) and on in-flight drops.  With the
+  sanitizer on as well, every delivery cross-checks
+  ``decode(encode(message)) == message``.
 
 Latency is modelled as a per-link cost accumulated into ``latency_total``
 for reporting; it does not reorder events (messages within a session are
@@ -35,6 +46,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import (
     InvariantViolation,
@@ -44,6 +56,9 @@ from repro.errors import (
 )
 from repro.interfaces import SessionScope, _SizedMessage
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
+
+if TYPE_CHECKING:
+    from repro.wire import WireCodec
 
 __all__ = ["LinkStats", "SimulatedNetwork"]
 
@@ -88,6 +103,13 @@ class SimulatedNetwork:
         experiments stay reproducible.
     link_latency:
         Simulated cost units accumulated per message.
+    wire:
+        Encoded mode: ``True``/``False`` wins, ``None`` defers to the
+        ``REPRO_WIRE`` environment variable.
+    sanitize:
+        With encoded mode on, additionally verify on every delivery
+        that the frame decodes back to a message equal to the original
+        (``None`` defers to ``REPRO_SANITIZE``).
     """
 
     n_nodes: int
@@ -95,10 +117,20 @@ class SimulatedNetwork:
     loss_rate: float = 0.0
     rng: random.Random | None = None
     link_latency: float = 1.0
+    wire: bool | None = None
+    sanitize: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
             raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
+        # Imported lazily: repro.wire pulls in the baselines for codec
+        # registration, and some of those import this module back.
+        from repro.cluster.sanitizer import sanitize_enabled
+        from repro.wire import WireCodec, wire_enabled
+
+        self.wire = wire_enabled(self.wire)
+        self.sanitize = sanitize_enabled(self.sanitize)
+        self._codec: WireCodec | None = WireCodec() if self.wire else None
         self._check_loss_rate(self.loss_rate)
         if self.loss_rate > 0.0 and self.rng is None:
             raise ValueError("loss_rate > 0 requires an explicit rng")
@@ -127,14 +159,23 @@ class SimulatedNetwork:
         return self._up[node]
 
     def set_down(self, node: int) -> None:
-        """Crash ``node``: no messages flow to or from it."""
+        """Crash ``node``: no messages flow to or from it.  In encoded
+        mode the crash also wipes the node's delta-VV caches — a real
+        implementation loses its in-memory codec state with the
+        process."""
         self._check_node(node)
         self._up[node] = False
+        if self._codec is not None:
+            self._codec.invalidate_node(node)
 
     def set_up(self, node: int) -> None:
-        """Recover ``node``."""
+        """Recover ``node``.  The delta-VV caches are invalidated again,
+        defensively: peers that cached vectors *about* the crashed node
+        must resend in full after it returns."""
         self._check_node(node)
         self._up[node] = True
+        if self._codec is not None:
+            self._codec.invalidate_node(node)
 
     def add_node(self) -> int:
         """Grow the fabric by one node (dynamic-membership extension);
@@ -272,6 +313,12 @@ class SimulatedNetwork:
         leave the sender: it is charged to the global and per-link
         counters like a delivered message, counted in the drop
         counters, and raises :class:`MessageLostError`.
+
+        In encoded mode the message is encoded to a binary frame before
+        the drop decision (the sender serialized it either way), every
+        byte counter charges ``len(frame)``, and the *decoded* message
+        is what reaches the caller — the original never crosses the
+        simulated wire.
         """
         self._check_node(src)
         self._check_node(dst)
@@ -279,7 +326,13 @@ class SimulatedNetwork:
             raise NodeDownError(src)
         if not self._up[dst] or self._group_of[src] != self._group_of[dst]:
             raise NodeDownError(dst)
-        size = message.wire_size()
+        frame: bytes | None = None
+        if self._codec is not None:
+            frame = self._codec.encode(src, dst, message)
+            size = len(frame)
+            self.counters.modelled_bytes_sent += message.wire_size()
+        else:
+            size = message.wire_size()
         self.counters.messages_sent += 1
         self.counters.bytes_sent += size
         link = self._links.setdefault((src, dst), LinkStats())
@@ -301,6 +354,18 @@ class SimulatedNetwork:
                 )
             if self.rng.random() < self.loss_rate:
                 dropped = True
+        decoded: _SizedMessage | None = None
+        if not dropped and self._codec is not None and frame is not None:
+            # Decode before the armed-crash sweep below: the scripted
+            # crash fires after this message *arrived*, and decoding
+            # must advance the receiver's delta-VV caches before a
+            # crash of either endpoint wipes them.
+            decoded = self._codec.decode(src, dst, frame)
+            if self.sanitize and decoded != message:
+                raise InvariantViolation(
+                    f"wire codec round-trip mismatch on {src}->{dst}: "
+                    f"sent {message!r}, decoded {decoded!r}"
+                )
         # Scripted crash *between* messages: fires after this message
         # left the sender, so the session's next message finds the node
         # dead mid-exchange.  The sweep runs before a drop is raised —
@@ -316,7 +381,14 @@ class SimulatedNetwork:
                     self._armed_crashes.remove(armed)
                     self.set_down(armed.node)
         if dropped:
+            if self._codec is not None:
+                # The encode above advanced the sender-side delta-VV
+                # caches for a frame the receiver will never decode; the
+                # link's caches must restart from full vectors.
+                self._codec.invalidate_link(src, dst)
             self._drop(link, size, src, dst)
+        if decoded is not None:
+            return decoded
         return message
 
     def _drop(self, link: LinkStats, size: int, src: int, dst: int) -> None:

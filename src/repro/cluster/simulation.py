@@ -155,6 +155,12 @@ class ClusterSimulation:
         incremental convergence/staleness answer against the
         from-scratch recomputation.  ``None`` (the default) defers to
         the ``REPRO_SANITIZE`` environment variable.
+    wire:
+        Run the network in encoded mode: every delivery round-trips
+        through the binary codec in :mod:`repro.wire` and byte counters
+        become byte-exact frame lengths (with the sanitizer on, each
+        delivery also verifies ``decode(encode(m)) == m``).  ``None``
+        defers to the ``REPRO_WIRE`` environment variable.
     incremental_tracking:
         Maintain convergence and staleness incrementally (state-version
         comparison + ground-truth dirty frontier) so per-round query
@@ -173,6 +179,7 @@ class ClusterSimulation:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     check_invariants_on_fault: bool = True
     sanitize: bool | None = None
+    wire: bool | None = None
     incremental_tracking: bool = True
     seed: int = 0
 
@@ -180,7 +187,13 @@ class ClusterSimulation:
         self.sanitize = sanitize_enabled(self.sanitize)
         self.rng = random.Random(self.seed)
         self.network_counters = OverheadCounters()
-        self.network = SimulatedNetwork(self.n_nodes, counters=self.network_counters)
+        self.network = SimulatedNetwork(
+            self.n_nodes,
+            counters=self.network_counters,
+            wire=self.wire,
+            sanitize=self.sanitize,
+        )
+        self.wire = self.network.wire
         self.node_counters = [OverheadCounters() for _ in range(self.n_nodes)]
         self.nodes: list[ProtocolNode] = [
             self.factory(node_id, self.node_counters[node_id])

@@ -43,7 +43,13 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.items import DataItem
-from repro.core.messages import WORD_SIZE, ItemPayload, vv_wire_size
+from repro.core.messages import (
+    WORD_SIZE,
+    ItemPayload,
+    payload_list_wire_size,
+    string_wire_size,
+    vv_wire_size,
+)
 from repro.core.node import EpidemicNode
 from repro.core.version_vector import VersionVector
 from repro.errors import ReplicationError
@@ -94,9 +100,9 @@ class DeltaPayload:
 
     def wire_size(self) -> int:
         return (
-            WORD_SIZE
+            string_wire_size(self.name)
             + vv_wire_size(self.ivv)
-            + sum(entry.wire_size() for entry in self.ops)
+            + payload_list_wire_size(self.ops)
         )
 
 

@@ -4,20 +4,34 @@ The experiments compare protocols on traffic as well as computation, so
 every message models its encoded size.  Size model (consistent across the
 core protocol and all baselines):
 
-* scalar / sequence number / name reference: 8 bytes,
+* scalar / sequence number: 8 bytes,
+* item name: a length word plus the name's UTF-8 bytes
+  (:func:`string_wire_size` — names are variable-length data, not
+  8-byte references; a flat word per name silently under-charged every
+  protocol in proportion to its name traffic),
 * version vector over ``n`` nodes: ``8 * n`` bytes,
 * regular log record: :data:`~repro.core.log_vector.LOG_RECORD_WIRE_SIZE`
   (constant — the paper stresses regular records are "very short"),
-* item payload: the value's length plus its IVV plus a name reference.
+* item payload: the value's length plus its IVV plus its name.
 
 These are simulation constants, not a serialization format: the paper's
 claims are about asymptotics (constant metadata per shipped item), which
-any reasonable constant preserves.
+any reasonable constant preserves.  The binary codec in
+:mod:`repro.wire` is the actual serialization; running the network in
+encoded mode (``REPRO_WIRE=1``) replaces these modelled charges with
+``len(frame)`` and reports the modelled-vs-encoded drift.
+
+The list-summing helpers below (:func:`name_list_wire_size`,
+:func:`named_vv_list_wire_size`, :func:`payload_list_wire_size`,
+:func:`lww_record_wire_size`) are shared by every baseline so the size
+model cannot fork per protocol.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.core.log_vector import LOG_RECORD_WIRE_SIZE
 from repro.core.version_vector import VersionVector
@@ -25,6 +39,11 @@ from repro.core.version_vector import VersionVector
 __all__ = [
     "WORD_SIZE",
     "vv_wire_size",
+    "string_wire_size",
+    "name_list_wire_size",
+    "named_vv_list_wire_size",
+    "payload_list_wire_size",
+    "lww_record_wire_size",
     "ItemPayload",
     "PropagationRequest",
     "YouAreCurrent",
@@ -42,6 +61,46 @@ def vv_wire_size(vv: VersionVector) -> int:
     return WORD_SIZE * len(vv)
 
 
+def string_wire_size(text: str) -> int:
+    """Modelled encoded size of a string: a length word plus its UTF-8
+    bytes.  Every message that carries an item name charges this."""
+    return WORD_SIZE + len(text.encode("utf-8"))
+
+
+def name_list_wire_size(names: Iterable[str]) -> int:
+    """Modelled size of a list of item names (no count word — callers
+    charge their own header words)."""
+    return sum(string_wire_size(name) for name in names)
+
+
+def named_vv_list_wire_size(
+    ivvs: Iterable[tuple[str, VersionVector]],
+) -> int:
+    """Modelled size of ``(name, vector)`` pairs, the per-item
+    anti-entropy baseline's advertisement unit."""
+    return sum(
+        string_wire_size(name) + vv_wire_size(ivv) for name, ivv in ivvs
+    )
+
+
+class _SizedPayload(Protocol):
+    def wire_size(self) -> int: ...
+
+
+def payload_list_wire_size(payloads: Iterable[_SizedPayload]) -> int:
+    """Modelled size of a batch of sized payloads/records — the shared
+    body-summing loop of every push/shipment/gossip message."""
+    return sum(payload.wire_size() for payload in payloads)
+
+
+def lww_record_wire_size(item: str, value: bytes) -> int:
+    """Modelled size of one last-writer-wins-style log record: the named
+    value plus its ``(seqno, origin)`` stamp.  Shared by the oracle,
+    Agrawal–Malpani, and Wuu–Bernstein record types, which are
+    field-for-field identical on the wire."""
+    return 2 * WORD_SIZE + string_wire_size(item) + len(value)
+
+
 @dataclass(frozen=True, slots=True)
 class ItemPayload:
     """One entry of the item set S: a whole item copy plus its IVV.
@@ -55,7 +114,7 @@ class ItemPayload:
     ivv: VersionVector
 
     def wire_size(self) -> int:
-        return WORD_SIZE + len(self.value) + vv_wire_size(self.ivv)
+        return string_wire_size(self.name) + len(self.value) + vv_wire_size(self.ivv)
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,7 +161,7 @@ class PropagationReply:
         return (
             WORD_SIZE
             + self.record_count() * LOG_RECORD_WIRE_SIZE
-            + sum(payload.wire_size() for payload in self.items)
+            + payload_list_wire_size(self.items)
         )
 
 
@@ -114,7 +173,7 @@ class OutOfBoundRequest:
     item: str
 
     def wire_size(self) -> int:
-        return 2 * WORD_SIZE
+        return WORD_SIZE + string_wire_size(self.item)
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,4 +189,9 @@ class OutOfBoundReply:
     ivv: VersionVector = field(repr=False)
 
     def wire_size(self) -> int:
-        return 2 * WORD_SIZE + len(self.value) + vv_wire_size(self.ivv)
+        return (
+            WORD_SIZE
+            + string_wire_size(self.item)
+            + len(self.value)
+            + vv_wire_size(self.ivv)
+        )

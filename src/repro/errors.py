@@ -129,3 +129,14 @@ class MessageLostError(ReplicationError):
         super().__init__(f"message from node {src} to node {dst} was lost")
         self.src = src
         self.dst = dst
+
+
+class WireFormatError(ReplicationError, ValueError):
+    """A binary wire frame could not be encoded or decoded.
+
+    Raised by :mod:`repro.wire` for truncated frames, unknown message
+    type ids, malformed varints, delta-encoded version vectors without a
+    cached base, and every other framing defect — a corrupt frame must
+    surface as one typed error, never as a bare ``struct.error`` or
+    ``IndexError`` from the decoder's internals.
+    """

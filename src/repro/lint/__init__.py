@@ -24,6 +24,10 @@ R6  frozen-message          message dataclasses that are not frozen+slotted,
 R7  complexity-budget       full item/node-space scans on the session path,
                             which silently re-introduce the O(N) cost the
                             paper's protocol exists to avoid
+R8  registered-codec        wire messages (``wire_size`` classes) without a
+                            binary codec registration — encoded mode would
+                            crash at runtime — and stale registrations
+                            pointing at vanished messages
 ==  ======================  ==================================================
 
 Run it over the tree with ``python -m repro.lint src tests benchmarks``.

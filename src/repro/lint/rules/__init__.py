@@ -19,6 +19,7 @@ from repro.lint.rules.r4_encapsulation import EncapsulationRule
 from repro.lint.rules.r5_tautology import TautologicalInvariantRule
 from repro.lint.rules.r6_frozen_messages import FrozenMessageRule
 from repro.lint.rules.r7_complexity import ComplexityBudgetRule
+from repro.lint.rules.r8_registered_codecs import RegisteredCodecRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
@@ -31,6 +32,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     TautologicalInvariantRule(),
     FrozenMessageRule(),
     ComplexityBudgetRule(),
+    RegisteredCodecRule(),
 )
 
 

@@ -1,0 +1,272 @@
+"""Frames, field primitives, and the delta-VV cache protocol.
+
+Frame layout (all numbers LEB128 varints, see :mod:`repro.wire.varint`)::
+
+    frame   := uvarint(len(payload)) payload
+    payload := uvarint(type_id) body
+
+The body is written field by field through an :class:`Encoder` by the
+per-class codec functions in :mod:`repro.wire.codecs`; a
+:class:`Decoder` mirrors every primitive.  A frame must decode to
+*exactly* its declared length — leftover or missing body bytes raise
+:class:`~repro.errors.WireFormatError`.
+
+**Delta-compressed version vectors.**  Anti-entropy partners exchange
+near-identical vectors over and over (the quiescent steady state probes
+with an unchanged DBVV every round), so :class:`WireCodec` keeps, per
+directed link and per *stream* (one logical vector — the DBVV, one
+item's IVV, ...), the last vector sent.  On the wire a vector is::
+
+    vv       := 0x00 uvarint(n) n*uvarint(component)          # full
+              | 0x01 uvarint(changes) changes*(gap delta)     # delta
+    gap      := uvarint(index - previous_index - 1)
+    delta    := svarint(component - cached_component)
+
+The delta form is *sparse*: an unchanged vector costs two bytes
+regardless of ``n``, which is what turns the paper's O(1)
+identical-replica detection into measured bytes.  The full form is the
+fallback whenever no cached base exists or the replica set grew (vector
+lengths differ); the sender's and receiver's caches advance
+independently, so the two fallback triggers that desynchronise them —
+an in-flight drop after encoding, and a crash/recovery — must
+explicitly invalidate (:meth:`WireCodec.invalidate_link`,
+:meth:`WireCodec.invalidate_node`; the simulated network calls both).
+A delta frame arriving without a cached base raises
+:class:`WireFormatError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.version_vector import VersionVector
+from repro.errors import WireFormatError
+from repro.wire.registry import codec_for_class, codec_for_id
+from repro.wire.varint import (
+    read_svarint,
+    read_uvarint,
+    write_svarint,
+    write_uvarint,
+)
+
+__all__ = ["Decoder", "Encoder", "WireCodec"]
+
+_FULL_VV = 0x00
+_DELTA_VV = 0x01
+
+
+class Encoder:
+    """Writes one message body; created per frame by :class:`WireCodec`."""
+
+    __slots__ = ("buf", "_codec", "_src", "_dst")
+
+    def __init__(self, codec: "WireCodec", src: int, dst: int) -> None:
+        self.buf = bytearray()
+        self._codec = codec
+        self._src = src
+        self._dst = dst
+
+    def uvarint(self, value: int) -> None:
+        write_uvarint(self.buf, value)
+
+    def svarint(self, value: int) -> None:
+        write_svarint(self.buf, value)
+
+    def bytes_(self, value: bytes) -> None:
+        write_uvarint(self.buf, len(value))
+        self.buf += value
+
+    def string(self, value: str) -> None:
+        self.bytes_(value.encode("utf-8"))
+
+    def message(self, message: Any) -> None:
+        """A nested registered message: its type id plus its body (no
+        inner length prefix — the structure is self-delimiting)."""
+        codec = codec_for_class(type(message))
+        write_uvarint(self.buf, codec.type_id)
+        codec.encode(self, message)
+
+    def vv(self, stream_key: str, vv: VersionVector) -> None:
+        """A version vector, delta-encoded against this link+stream's
+        last sent vector when possible (see the module docstring)."""
+        counts = vv.as_tuple()
+        codec = self._codec
+        base: tuple[int, ...] | None = None
+        if codec.delta_vv:
+            key = (self._src, self._dst, stream_key)
+            base = codec._sent.get(key)
+            codec._sent[key] = counts
+        if base is not None and len(base) == len(counts):
+            changed = [k for k in range(len(counts)) if counts[k] != base[k]]
+            self.buf.append(_DELTA_VV)
+            write_uvarint(self.buf, len(changed))
+            previous = -1
+            for k in changed:
+                write_uvarint(self.buf, k - previous - 1)
+                write_svarint(self.buf, counts[k] - base[k])
+                previous = k
+        else:
+            self.buf.append(_FULL_VV)
+            write_uvarint(self.buf, len(counts))
+            for component in counts:
+                write_uvarint(self.buf, component)
+
+
+class Decoder:
+    """Reads one message body; mirror image of :class:`Encoder`."""
+
+    __slots__ = ("data", "pos", "_codec", "_src", "_dst")
+
+    def __init__(
+        self, codec: "WireCodec", src: int, dst: int, data: bytes, pos: int = 0
+    ) -> None:
+        self.data = data
+        self.pos = pos
+        self._codec = codec
+        self._src = src
+        self._dst = dst
+
+    def uvarint(self) -> int:
+        value, self.pos = read_uvarint(self.data, self.pos)
+        return value
+
+    def svarint(self) -> int:
+        value, self.pos = read_svarint(self.data, self.pos)
+        return value
+
+    def bytes_(self) -> bytes:
+        length = self.uvarint()
+        end = self.pos + length
+        if end > len(self.data):
+            raise WireFormatError(
+                f"truncated frame: {length}-byte field overruns the payload"
+            )
+        value = self.data[self.pos : end]
+        self.pos = end
+        return value
+
+    def string(self) -> str:
+        try:
+            return self.bytes_().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid UTF-8 in string field: {exc}") from None
+
+    def message(self) -> Any:
+        """A nested registered message (type id plus body)."""
+        return codec_for_id(self.uvarint()).decode(self)
+
+    def vv(self, stream_key: str) -> VersionVector:
+        if self.pos >= len(self.data):
+            raise WireFormatError("truncated frame: missing version-vector tag")
+        tag = self.data[self.pos]
+        self.pos += 1
+        codec = self._codec
+        key = (self._src, self._dst, stream_key)
+        if tag == _FULL_VV:
+            n = self.uvarint()
+            counts = tuple(self.uvarint() for _ in range(n))
+        elif tag == _DELTA_VV:
+            base = codec._seen.get(key) if codec.delta_vv else None
+            if base is None:
+                raise WireFormatError(
+                    f"delta version vector for stream {stream_key!r} from "
+                    f"node {self._src} without a cached base — the sender "
+                    "and receiver caches are out of sync"
+                )
+            mutable = list(base)
+            index = -1
+            for _ in range(self.uvarint()):
+                index += self.uvarint() + 1
+                if index >= len(mutable):
+                    raise WireFormatError(
+                        f"delta version vector component index {index} "
+                        f"outside the cached base of length {len(mutable)}"
+                    )
+                mutable[index] += self.svarint()
+                if mutable[index] < 0:
+                    raise WireFormatError(
+                        "delta version vector produced a negative component"
+                    )
+            counts = tuple(mutable)
+        else:
+            raise WireFormatError(f"unknown version-vector tag {tag:#x}")
+        if codec.delta_vv:
+            codec._seen[key] = counts
+        return VersionVector.from_counts(counts)
+
+
+class WireCodec:
+    """Encodes and decodes whole frames for one message fabric.
+
+    One instance belongs to one :class:`~repro.cluster.network.
+    SimulatedNetwork` (or, eventually, one real socket endpoint pair)
+    and owns the per-link delta-VV caches.  ``delta_vv=False`` disables
+    the caches entirely — every vector travels in full form — which is
+    the comparison arm of the wire benchmark.
+    """
+
+    __slots__ = ("delta_vv", "_sent", "_seen")
+
+    def __init__(self, delta_vv: bool = True) -> None:
+        self.delta_vv = delta_vv
+        # (src, dst, stream) -> last vector encoded on / decoded from
+        # that directed link.  Sender and receiver sides are separate
+        # maps: they advance at different times (encode vs decode), and
+        # an in-flight drop advances one without the other.
+        self._sent: dict[tuple[int, int, str], tuple[int, ...]] = {}
+        self._seen: dict[tuple[int, int, str], tuple[int, ...]] = {}
+
+    def encode(self, src: int, dst: int, message: Any) -> bytes:
+        """Encode ``message`` into a length-prefixed frame for the
+        directed link ``src -> dst``; the sender-side VV caches advance."""
+        codec = codec_for_class(type(message))
+        encoder = Encoder(self, src, dst)
+        encoder.uvarint(codec.type_id)
+        codec.encode(encoder, message)
+        frame = bytearray()
+        write_uvarint(frame, len(encoder.buf))
+        frame += encoder.buf
+        return bytes(frame)
+
+    def decode(self, src: int, dst: int, frame: bytes) -> Any:
+        """Decode one frame received on ``src -> dst``; the receiver-side
+        VV caches advance.  The frame must parse *exactly*: truncation,
+        trailing bytes, and unknown type ids all raise
+        :class:`WireFormatError`."""
+        length, start = read_uvarint(frame, 0)
+        if start + length != len(frame):
+            raise WireFormatError(
+                f"frame length prefix says {length} payload byte(s), "
+                f"got {len(frame) - start}"
+            )
+        decoder = Decoder(self, src, dst, frame, start)
+        message = decoder.message()
+        if decoder.pos != len(frame):
+            raise WireFormatError(
+                f"{len(frame) - decoder.pos} unconsumed byte(s) after the "
+                f"{type(message).__name__} body"
+            )
+        return message
+
+    # -- cache invalidation ---------------------------------------------------
+
+    def invalidate_link(self, src: int, dst: int) -> None:
+        """Forget the caches of the directed link ``src -> dst`` — called
+        when a frame is dropped in flight *after* encoding advanced the
+        sender cache the receiver will never see."""
+        for cache in (self._sent, self._seen):
+            stale = [key for key in cache if key[0] == src and key[1] == dst]
+            for key in stale:
+                del cache[key]
+
+    def invalidate_node(self, node: int) -> None:
+        """Forget every cache touching ``node`` — called on crash *and*
+        on recovery, so faulted sessions restart from full vectors."""
+        for cache in (self._sent, self._seen):
+            stale = [key for key in cache if node in (key[0], key[1])]
+            for key in stale:
+                del cache[key]
+
+    def cache_size(self) -> int:
+        """Total cached vector streams, both directions (test aid)."""
+        return len(self._sent) + len(self._seen)

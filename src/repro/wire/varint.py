@@ -1,0 +1,86 @@
+"""LEB128 variable-length integers, the codec's only number format.
+
+Every scalar on the wire is a varint: 7 value bits per byte, the high
+bit set on all but the last byte, little-endian groups — the classic
+LEB128 / protobuf encoding.  Small numbers (node ids, sequence numbers,
+short lengths — the overwhelming majority of this protocol's scalars)
+cost one byte instead of the modelled 8-byte word.
+
+Two flavours:
+
+* **unsigned** (:func:`write_uvarint` / :func:`read_uvarint`) for
+  counts, lengths, node ids, and type ids;
+* **zigzag signed** (:func:`write_svarint` / :func:`read_svarint`) for
+  values that may be negative — version-vector deltas, ``CounterAdd``
+  amounts, and Lotus writer ids (``-1`` means "never written").
+
+Values are capped at 64 bits (10 encoded bytes).  The cap is a decoding
+safety bound: without it a hostile frame of ``0x80`` bytes would spin
+the decoder forever.  Every malformed input raises
+:class:`~repro.errors.WireFormatError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WireFormatError
+
+__all__ = [
+    "MAX_VARINT_BYTES",
+    "read_svarint",
+    "read_uvarint",
+    "write_svarint",
+    "write_uvarint",
+]
+
+#: A 64-bit value needs at most ``ceil(64 / 7)`` = 10 LEB128 bytes.
+MAX_VARINT_BYTES = 10
+
+_U64_LIMIT = 1 << 64
+
+
+def write_uvarint(buf: bytearray, value: int) -> None:
+    """Append ``value`` to ``buf`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise WireFormatError(f"cannot encode negative value {value} as uvarint")
+    if value >= _U64_LIMIT:
+        raise WireFormatError(f"value {value} exceeds the 64-bit varint range")
+    while value >= 0x80:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def write_svarint(buf: bytearray, value: int) -> None:
+    """Append ``value`` as a zigzag-mapped varint (negatives allowed)."""
+    if not -(1 << 63) <= value < (1 << 63):
+        raise WireFormatError(f"value {value} exceeds the 64-bit zigzag range")
+    write_uvarint(buf, (value << 1) ^ (value >> 63))
+
+
+def read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode an unsigned varint at ``data[pos:]``; returns
+    ``(value, next_pos)``.  Truncated or over-long input raises
+    :class:`WireFormatError`."""
+    result = 0
+    shift = 0
+    for count in range(MAX_VARINT_BYTES):
+        if pos >= len(data):
+            raise WireFormatError("truncated varint: frame ended mid-number")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result >= _U64_LIMIT:
+                raise WireFormatError("varint exceeds the 64-bit range")
+            return result, pos
+        shift += 7
+    raise WireFormatError(
+        f"malformed varint: continuation past {MAX_VARINT_BYTES} bytes"
+    )
+
+
+def read_svarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode a zigzag varint at ``data[pos:]``; returns
+    ``(value, next_pos)``."""
+    raw, pos = read_uvarint(data, pos)
+    return (raw >> 1) ^ -(raw & 1), pos

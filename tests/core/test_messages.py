@@ -9,6 +9,7 @@ from repro.core.messages import (
     PropagationReply,
     PropagationRequest,
     YouAreCurrent,
+    string_wire_size,
     vv_wire_size,
 )
 from repro.core.version_vector import VersionVector
@@ -32,9 +33,16 @@ class TestSizes:
         that is the O(1) traffic claim."""
         assert YouAreCurrent(0).wire_size() == WORD_SIZE
 
+    def test_string_size_charges_actual_name_length(self):
+        """Names are variable-length data: a length word plus the UTF-8
+        bytes, not a flat 8-byte reference."""
+        assert string_wire_size("x") == WORD_SIZE + 1
+        assert string_wire_size("item/0042") == WORD_SIZE + 9
+        assert string_wire_size("é") == WORD_SIZE + 2  # UTF-8, not chars
+
     def test_item_payload_size(self):
         payload = ItemPayload("x", b"12345", vv(0, 1))
-        assert payload.wire_size() == WORD_SIZE + 5 + 2 * WORD_SIZE
+        assert payload.wire_size() == string_wire_size("x") + 5 + 2 * WORD_SIZE
 
     def test_reply_size_sums_tails_and_payloads(self):
         reply = PropagationReply(
@@ -45,7 +53,7 @@ class TestSizes:
         expected = (
             WORD_SIZE
             + 1 * LOG_RECORD_WIRE_SIZE
-            + (WORD_SIZE + 3 + 2 * WORD_SIZE)
+            + (string_wire_size("x") + 3 + 2 * WORD_SIZE)
         )
         assert reply.wire_size() == expected
 
@@ -74,8 +82,10 @@ class TestSizes:
     def test_oob_messages(self):
         request = OutOfBoundRequest(2, "x")
         reply = OutOfBoundReply(1, "x", b"valu", vv(0, 3))
-        assert request.wire_size() == 2 * WORD_SIZE
-        assert reply.wire_size() == 2 * WORD_SIZE + 4 + 2 * WORD_SIZE
+        assert request.wire_size() == WORD_SIZE + string_wire_size("x")
+        assert reply.wire_size() == (
+            WORD_SIZE + string_wire_size("x") + 4 + 2 * WORD_SIZE
+        )
 
 
 class TestValueSemantics:

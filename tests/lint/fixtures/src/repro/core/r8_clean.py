@@ -1,0 +1,22 @@
+"""R8 clean counterpart: the shapes R8 must leave alone.
+
+A ``Protocol`` describing the sized-message interface is not a wire
+message (it is never instantiated, so it needs no codec), and a class
+without ``wire_size`` is not on the wire at all — neither may require a
+registry entry.  The positive case — registered real messages passing —
+is covered by linting the live tree, which the self-check test does.
+"""
+
+from typing import Protocol
+
+
+class SizedMessage(Protocol):
+    def wire_size(self) -> int: ...
+
+
+class CodecCacheStats:
+    def __init__(self) -> None:
+        self.streams = 0
+
+    def note_stream(self) -> None:
+        self.streams += 1

@@ -1,0 +1,1 @@
+"""Tests for the binary wire codec (:mod:`repro.wire`)."""

@@ -1,0 +1,101 @@
+"""Unit and property tests for the LEB128 varint layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WireFormatError
+from repro.wire.varint import (
+    MAX_VARINT_BYTES,
+    read_svarint,
+    read_uvarint,
+    write_svarint,
+    write_uvarint,
+)
+
+
+def encode_u(value):
+    buf = bytearray()
+    write_uvarint(buf, value)
+    return bytes(buf)
+
+
+def encode_s(value):
+    buf = bytearray()
+    write_svarint(buf, value)
+    return bytes(buf)
+
+
+class TestKnownEncodings:
+    def test_single_byte_values(self):
+        assert encode_u(0) == b"\x00"
+        assert encode_u(1) == b"\x01"
+        assert encode_u(127) == b"\x7f"
+
+    def test_multi_byte_values(self):
+        assert encode_u(128) == b"\x80\x01"
+        assert encode_u(300) == b"\xac\x02"  # the protobuf docs example
+
+    def test_u64_max_fits_in_ten_bytes(self):
+        frame = encode_u(2**64 - 1)
+        assert len(frame) == MAX_VARINT_BYTES
+        assert read_uvarint(frame, 0) == (2**64 - 1, MAX_VARINT_BYTES)
+
+    def test_zigzag_small_magnitudes_stay_small(self):
+        assert encode_s(0) == b"\x00"
+        assert encode_s(-1) == b"\x01"
+        assert encode_s(1) == b"\x02"
+        assert encode_s(-2) == b"\x03"
+        assert len(encode_s(-64)) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(WireFormatError):
+            encode_u(-1)
+        with pytest.raises(WireFormatError):
+            encode_u(2**64)
+        with pytest.raises(WireFormatError):
+            encode_s(2**63)
+        with pytest.raises(WireFormatError):
+            encode_s(-(2**63) - 1)
+
+
+class TestMalformedInput:
+    def test_truncated_varint(self):
+        with pytest.raises(WireFormatError):
+            read_uvarint(b"", 0)
+        with pytest.raises(WireFormatError):
+            read_uvarint(b"\x80", 0)  # continuation bit, then nothing
+
+    def test_hostile_continuation_spam_terminates(self):
+        with pytest.raises(WireFormatError):
+            read_uvarint(b"\x80" * 1000, 0)
+
+    def test_overlong_value_rejected(self):
+        # Ten bytes whose payload overflows 64 bits.
+        with pytest.raises(WireFormatError):
+            read_uvarint(b"\xff" * 9 + b"\x7f", 0)
+
+
+@given(st.integers(0, 2**64 - 1))
+def test_uvarint_roundtrip(value):
+    frame = encode_u(value)
+    assert read_uvarint(frame, 0) == (value, len(frame))
+
+
+@given(st.integers(-(2**63), 2**63 - 1))
+def test_svarint_roundtrip(value):
+    frame = encode_s(value)
+    assert read_svarint(frame, 0) == (value, len(frame))
+
+
+@given(st.lists(st.integers(0, 2**64 - 1), max_size=20))
+def test_concatenated_varints_reparse(values):
+    buf = bytearray()
+    for value in values:
+        write_uvarint(buf, value)
+    pos = 0
+    decoded = []
+    for _ in values:
+        value, pos = read_uvarint(bytes(buf), pos)
+        decoded.append(value)
+    assert decoded == values
+    assert pos == len(buf)
