@@ -133,9 +133,21 @@ FailureEvent = (
 
 @dataclass
 class FailurePlan:
-    """An ordered script of failure events keyed by round number."""
+    """An ordered script of failure events keyed by round number.
+
+    Lossy windows are opened and closed through the network's *stacked*
+    window API (``push_loss_rate``/``pop_loss_rate``), so overlapping or
+    nested :class:`LossyWindow` events compose: closing one window
+    reinstates whatever window is still open instead of silently
+    resetting to the constructor-time rate.
+    """
 
     events: list[FailureEvent] = field(default_factory=list)
+    #: Open lossy windows, keyed by event index in :attr:`events`; the
+    #: values are the network's window tokens.
+    _window_tokens: dict[int, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def apply_round(self, round_no: int, network: SimulatedNetwork) -> list[object]:
         """Fire every event scheduled for ``round_no``; returns them.
@@ -143,17 +155,19 @@ class FailurePlan:
         ``at_round``, once to close at its ``until_round``.)
         """
         fired: list[object] = []
-        for event in self.events:
+        for index, event in enumerate(self.events):
             if isinstance(event, LossyWindow):
                 if round_no == event.at_round:
-                    network.set_loss_rate(
+                    self._window_tokens[index] = network.push_loss_rate(
                         event.rate,
                         rng=network.rng or random.Random(event.seed),
                     )
                     fired.append(event)
                 elif round_no == event.until_round:
-                    network.restore_loss_rate()
-                    fired.append(event)
+                    token = self._window_tokens.pop(index, None)
+                    if token is not None:
+                        network.pop_loss_rate(token)
+                        fired.append(event)
                 continue
             if event.at_round != round_no:
                 continue

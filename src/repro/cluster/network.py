@@ -52,6 +52,7 @@ from repro.errors import (
     InvariantViolation,
     MessageLostError,
     NodeDownError,
+    SimulationError,
     UnknownNodeError,
 )
 from repro.interfaces import SessionScope, _SizedMessage
@@ -69,12 +70,21 @@ class LinkStats:
 
     ``messages`` / ``bytes`` count everything that left the sender on
     this link, including messages later dropped in flight; ``dropped``
-    counts the in-flight losses among them.
+    and ``bytes_dropped`` count the in-flight losses among them.  Use
+    :attr:`bytes_delivered` for the traffic that actually reached the
+    receiver — ``bytes`` alone conflates delivered and lost bytes, and
+    per-link usefulness analysis (E8) must not overstate useful traffic.
     """
 
     messages: int = 0
     bytes: int = 0
     dropped: int = 0
+    bytes_dropped: int = 0
+
+    @property
+    def bytes_delivered(self) -> int:
+        """Bytes that actually arrived on this link."""
+        return self.bytes - self.bytes_dropped
 
 
 @dataclass
@@ -143,9 +153,18 @@ class SimulatedNetwork:
         self.latency_total = 0.0
         self.messages_dropped = 0
         self.bytes_dropped = 0
+        #: Messages that left a sender, keyed by message class name —
+        #: the frame-type traffic census the networked mode's parity
+        #: harness compares against a real multi-process cluster.
+        self.frame_census: dict[str, int] = {}
         self._session: SessionScope | None = None
         self._armed_crashes: list[_ArmedCrash] = []
         self._armed_drops: list[int] = []
+        # Stacked lossy windows: (token, rate) in open order.  The most
+        # recently opened window's rate is active; closing it falls back
+        # to the previous still-open window, or the constructor rate.
+        self._loss_windows: list[tuple[int, float]] = []
+        self._next_loss_token = 0
 
     @staticmethod
     def _check_loss_rate(rate: float) -> None:
@@ -245,8 +264,63 @@ class SimulatedNetwork:
         self.loss_rate = rate
 
     def restore_loss_rate(self) -> None:
-        """End a lossy window: back to the constructor-time rate."""
+        """Reset to the constructor-time rate (non-stacking API).
+
+        Raises :class:`SimulationError` while stacked windows opened via
+        :meth:`push_loss_rate` are still open: silently reinstating the
+        base rate would clobber them — the overlapping-``LossyWindow``
+        bug this guard exists to keep fixed.
+        """
+        if self._loss_windows:
+            raise SimulationError(
+                f"restore_loss_rate with {len(self._loss_windows)} lossy "
+                "window(s) still open; close them with pop_loss_rate"
+            )
         self.loss_rate = self._base_loss_rate
+
+    def push_loss_rate(self, rate: float, rng: random.Random | None = None) -> int:
+        """Open a stacked lossy window at ``rate``; returns a token for
+        :meth:`pop_loss_rate`.
+
+        Windows stack: the most recently opened window's rate is the
+        active one, and closing any window re-activates the most recent
+        *still-open* window (or the constructor-time rate when none
+        remain) — so overlapping or nested failure events cannot clobber
+        each other the way bare ``set_loss_rate``/``restore_loss_rate``
+        pairs did.
+        """
+        self._check_loss_rate(rate)
+        if rng is not None:
+            self.rng = rng
+        if rate > 0.0 and self.rng is None:
+            raise ValueError("loss_rate > 0 requires an explicit rng")
+        token = self._next_loss_token
+        self._next_loss_token += 1
+        self._loss_windows.append((token, rate))
+        self.loss_rate = rate
+        return token
+
+    def pop_loss_rate(self, token: int) -> None:
+        """Close the stacked lossy window identified by ``token``; the
+        active rate falls back to the most recently opened still-open
+        window, or the constructor-time rate when none remain."""
+        for index, (open_token, _rate) in enumerate(self._loss_windows):
+            if open_token == token:
+                del self._loss_windows[index]
+                break
+        else:
+            raise SimulationError(
+                f"pop_loss_rate token {token} does not match any open "
+                "lossy window"
+            )
+        if self._loss_windows:
+            self.loss_rate = self._loss_windows[-1][1]
+        else:
+            self.loss_rate = self._base_loss_rate
+
+    def open_loss_windows(self) -> int:
+        """Stacked lossy windows currently open (test/experiment aid)."""
+        return len(self._loss_windows)
 
     # -- sessions and scripted faults -----------------------------------------
 
@@ -335,6 +409,8 @@ class SimulatedNetwork:
             size = message.wire_size()
         self.counters.messages_sent += 1
         self.counters.bytes_sent += size
+        kind = type(message).__name__
+        self.frame_census[kind] = self.frame_census.get(kind, 0) + 1
         link = self._links.setdefault((src, dst), LinkStats())
         link.messages += 1
         link.bytes += size
@@ -395,6 +471,7 @@ class SimulatedNetwork:
         self.messages_dropped += 1
         self.bytes_dropped += size
         link.dropped += 1
+        link.bytes_dropped += size
         raise MessageLostError(src, dst)
 
     # -- accounting ------------------------------------------------------------
@@ -408,6 +485,10 @@ class SimulatedNetwork:
 
     def total_bytes(self) -> int:
         return sum(link.bytes for link in self._links.values())
+
+    def total_bytes_delivered(self) -> int:
+        """Bytes that actually reached a receiver, across all links."""
+        return sum(link.bytes_delivered for link in self._links.values())
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.n_nodes:

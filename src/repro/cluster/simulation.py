@@ -167,6 +167,12 @@ class ClusterSimulation:
         cost is proportional to what changed, not ``n·N``.  ``False``
         restores the from-scratch recomputation every round — the
         legacy behavior, kept as the scale benchmark's baseline.
+    session_observer:
+        Optional ``observer(initiator, peer, stats)`` invoked after
+        every attempted session (including faulted ones).  The parity
+        harness (:mod:`repro.net.harness`) uses it to record the exact
+        session schedule a simulation executed, so the same schedule
+        can be replayed against a networked cluster.
     seed:
         Seed for the simulation's single RNG.
     """
@@ -181,6 +187,7 @@ class ClusterSimulation:
     sanitize: bool | None = None
     wire: bool | None = None
     incremental_tracking: bool = True
+    session_observer: Callable[[int, int, SyncStats], None] | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -382,7 +389,10 @@ class ClusterSimulation:
         if not self.network.can_reach(node_id, peer):
             stats.failed_sessions += 1
             self._schedule_retry(node_id, peer, attempt)
-            return SyncStats(failed=True)
+            session = SyncStats(failed=True)
+            if self.session_observer is not None:
+                self.session_observer(node_id, peer, session)
+            return session
         try:
             session = self.nodes[node_id].sync_with(self.nodes[peer], self.network)
         except (NodeDownError, MessageLostError):
@@ -394,6 +404,8 @@ class ClusterSimulation:
             sanitize_endpoints(
                 self.nodes, (node_id, peer), self.network_counters
             )
+        if self.session_observer is not None:
+            self.session_observer(node_id, peer, session)
         if session.failed:
             stats.failed_sessions += 1
             self._note_abort(node_id, peer, session, stats)

@@ -115,6 +115,17 @@ class EpidemicNode:
         self.log = LogVector(n_nodes)
         self.store = ItemStore(n_nodes, list(item_names))
         self.aux_log = AuxiliaryLog()
+        # Origins whose log component legitimately runs ahead of the
+        # DBVV: ``{origin: highest such seqno}``.  Pulling from a
+        # replica frozen by an unresolved conflict imports log records
+        # whose seqnos the conflicted lineage's dropped updates never
+        # accounted for, and the gap travels onward — even to replicas
+        # that never witnessed the conflict themselves (see
+        # ``accept_propagation``, the one site that can create a gap,
+        # and the bound check in ``check_invariants``).  A gap heals
+        # when later sessions or a conflict resolution push the DBVV
+        # component past the recorded seqno.
+        self.log_gaps: dict[int, int] = {}
         # Incremental digest of the regular {item: value} state; every
         # regular-copy write below maintains it in O(1) so the adapter's
         # state_version() never rescans the store.
@@ -203,6 +214,16 @@ class EpidemicNode:
         self._content_digest.recompute(
             (entry.name, entry.value) for entry in self.store
         )
+        # ``log_gaps`` is derived bookkeeping, not durable state: any
+        # component running ahead of the restored DBVV was a recorded
+        # gap in the pre-crash node (the snapshot was taken from a
+        # state that passed ``check_invariants``), so rebuild the
+        # bounds from the structures themselves.
+        self.log_gaps.clear()
+        for k in range(self.n_nodes):
+            max_seqno = self.log[k].max_seqno
+            if max_seqno > self.dbvv[k]:
+                self.log_gaps[k] = max_seqno
 
     # ------------------------------------------------------------------
     # Update propagation, source side (paper Fig. 2)
@@ -325,6 +346,17 @@ class EpidemicNode:
                     continue
                 component.add(item, seqno, self.counters)
                 outcome.records_appended += 1
+                if seqno > self.dbvv[k]:
+                    # The source's log ran ahead of what our DBVV can
+                    # account for — it (or some replica upstream of it)
+                    # dropped a conflicting adoption, so the conflicted
+                    # lineage's updates are missing from the absorbed
+                    # IVVs.  Record the gap so the invariant checker
+                    # can tell this imported, bounded overhang from a
+                    # genuine accounting bug.  Appends are the current
+                    # component maximum, so assignment tracks the
+                    # highest gapped seqno.
+                    self.log_gaps[k] = seqno
 
         self._after_accept_installs()
         intra = self.intra_node_propagation(outcome.adopted)
@@ -561,6 +593,21 @@ class EpidemicNode:
             entry.name: (entry.value, entry.ivv.as_tuple()) for entry in self.store
         }
 
+    def has_open_log_gaps(self) -> bool:
+        """True while some log component still runs ahead of the DBVV.
+
+        An open gap means this replica's reflected update set is not a
+        per-origin prefix (a conflict somewhere in the cluster dropped
+        updates out of the accounting), so the DBVV is not a sound
+        identical-state certificate even if this replica itself is
+        conflict-free.  Heals once the DBVV catches up — through a
+        conflict resolution propagating in, or later adoptions
+        absorbing the missing lineage.
+        """
+        return any(
+            self.log[k].max_seqno > self.dbvv[k] for k in self.log_gaps
+        )
+
     def check_invariants(self) -> None:
         """Assert the cross-structure invariants from DESIGN.md section 6:
 
@@ -569,7 +616,9 @@ class EpidemicNode:
           where dropped records legitimately leave the DBVV behind;
         * log structure invariants;
         * every log record's seqno is bounded by the matching DBVV
-          component;
+          component — or, where an unresolved conflict somewhere in the
+          cluster left the DBVV behind the record stream, by the gap
+          bound recorded when the overhang was imported (``log_gaps``);
         * auxiliary log chains are intact and only reference items that
           still exist.
         """
@@ -591,20 +640,25 @@ class EpidemicNode:
         # ``(item, m)`` in origin k's log component asserts "I reflect
         # origin k's first m updates", so ``m <= dbvv[k]`` always — the
         # log is written only after the DBVV advances (rules 1 and 3).
-        # Unresolved conflicts exempt the check: a conflict freezes DBVV
-        # accounting for the affected origins (dropped adoptions leave
-        # the DBVV legitimately behind the record stream), so the bound
-        # is only enforced on conflict-free replicas, where a violation
-        # means the log claims updates the DBVV never accounted.
-        if not frozen:
-            for k in range(self.n_nodes):
-                component = self.log[k]
-                if component.max_seqno > self.dbvv[k]:
-                    raise InvariantViolation(
-                        f"log component {k} claims seqno {component.max_seqno} "
-                        f"but DBVV[{k}] is only {self.dbvv[k]} "
-                        f"on node {self.node_id}"
-                    )
+        # The one legitimate exception is a recorded gap: a conflict
+        # freezes DBVV accounting for the affected origins (dropped
+        # adoptions leave the DBVV behind the record stream), and the
+        # overhang travels with propagation to replicas that never saw
+        # the conflict themselves — including perfectly conflict-free
+        # ones.  ``accept_propagation`` records every such import in
+        # ``log_gaps`` with its seqno, so the bound is enforced on
+        # *every* replica, frozen or not, up to the recorded gap:
+        # anything beyond both the DBVV and the gap bound is a log
+        # claiming updates nothing ever accounted for.
+        for k in range(self.n_nodes):
+            component = self.log[k]
+            limit = max(self.dbvv[k], self.log_gaps.get(k, 0))
+            if component.max_seqno > limit:
+                raise InvariantViolation(
+                    f"log component {k} claims seqno {component.max_seqno} "
+                    f"but DBVV[{k}] is only {self.dbvv[k]} (recorded gap "
+                    f"bound {self.log_gaps.get(k, 0)}) on node {self.node_id}"
+                )
         for record in self.aux_log:
             if record.item not in self.store:
                 raise InvariantViolation(

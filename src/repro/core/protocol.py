@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from repro.core.conflicts import ConflictReporter
 from repro.core.delta import DeltaEpidemicNode
-from repro.core.messages import OutOfBoundReply, PropagationReply, YouAreCurrent
+from repro.core.messages import OutOfBoundReply
 from repro.core.node import EpidemicNode
+from repro.core.session import PullSession, respond
 from repro.errors import MessageLostError, NodeDownError, ProtocolStateError
 from repro.interfaces import (
     ProtocolNode,
@@ -80,9 +81,11 @@ class DBVVProtocolNode(ProtocolNode):
                 f"{peer.node_class.__name__}"
             )
         stats = SyncStats()
-        # Count via the conflict reporter, not the counters sink — the
-        # sink may be the do-nothing NULL_COUNTERS.
-        before = self.node.conflicts.count
+        # The sans-I/O session machine (repro.core.session) drives the
+        # node; this adapter only moves its messages through the
+        # transport and translates faults into SyncStats.  repro.net
+        # moves the same messages through TCP sockets.
+        pull = PullSession(self.node)
         session = open_session(transport, self.node_id, peer.node_id)
         try:
             # Phase machine (request-sent → source-processed →
@@ -91,10 +94,10 @@ class DBVVProtocolNode(ProtocolNode):
             # is attributed to the exact point the session died at.
             session.advance(SessionPhase.REQUEST_SENT)
             request = transport.deliver(
-                self.node_id, peer.node_id, self.node.make_propagation_request()
+                self.node_id, peer.node_id, pull.request()
             )
             session.advance(SessionPhase.SOURCE_PROCESSED)
-            answer = peer.node.send_propagation(request)
+            answer = respond(peer.node, request)
             session.advance(SessionPhase.REPLY_IN_FLIGHT)
             answer = transport.deliver(peer.node_id, self.node_id, answer)
         except (NodeDownError, MessageLostError):
@@ -107,15 +110,13 @@ class DBVVProtocolNode(ProtocolNode):
             session.close()
         stats.messages = 2
         stats.bytes_sent = session.bytes_sent
-        if isinstance(answer, YouAreCurrent):
-            stats.identical = True
-            return stats
-        if not isinstance(answer, PropagationReply):
-            raise ProtocolStateError("PropagationReply", answer)
         # The reply is fully received before any state changes, so a
         # mid-session fault can never leave a half-applied adoption —
-        # accept_propagation itself is local and atomic.
-        outcome, _intra = self.node.accept_propagation(answer)
+        # conclude() runs accept_propagation, which is local and atomic.
+        outcome = pull.conclude(answer)
+        if outcome.identical:
+            stats.identical = True
+            return stats
         session.advance(SessionPhase.REPLY_APPLIED)
         stats.items_transferred = len(outcome.adopted)
         # The pull changed only this node, and only the adopted items
@@ -124,7 +125,7 @@ class DBVVProtocolNode(ProtocolNode):
         stats.adopted_items = tuple(
             (self.node_id, name) for name in outcome.adopted
         )
-        stats.conflicts = self.node.conflicts.count - before
+        stats.conflicts = outcome.conflicts
         return stats
 
     # -- out-of-bound copying (protocol-specific extension) -------------------
@@ -164,12 +165,18 @@ class DBVVProtocolNode(ProtocolNode):
         return {entry.name: entry.value for entry in self.node.store}
 
     def state_version(self) -> StateVersion:
-        """O(1): the incrementally maintained content digest, plus the
-        DBVV tuple as the paper's identical-detection certificate while
-        this replica is conflict-free (a conflict freezes DBVV
-        accounting, voiding the equal-DBVV ⟹ equal-state argument)."""
+        """O(n) worst case: the incrementally maintained content digest,
+        plus the DBVV tuple as the paper's identical-detection
+        certificate while this replica is conflict-free AND free of
+        imported log gaps.  A conflict freezes DBVV accounting, and a
+        gap imported from a frozen peer means the reflected update set
+        is not a per-origin prefix — either voids the equal-DBVV ⟹
+        equal-state argument (see ``EpidemicNode.has_open_log_gaps``)."""
         certificate = None
-        if self.node.conflicts.count == 0:
+        if (
+            self.node.conflicts.count == 0
+            and not self.node.has_open_log_gaps()
+        ):
             certificate = self.node.dbvv.as_tuple()
         return StateVersion(
             self.protocol_name, self.node.content_digest, certificate

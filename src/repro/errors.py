@@ -140,3 +140,13 @@ class WireFormatError(ReplicationError, ValueError):
     surface as one typed error, never as a bare ``struct.error`` or
     ``IndexError`` from the decoder's internals.
     """
+
+
+class NetworkSessionError(ReplicationError):
+    """A networked anti-entropy session could not complete.
+
+    Raised by :mod:`repro.net` when a peer is unreachable, a connection
+    dies mid-session and the reconnect budget is exhausted, or the
+    handshake fails — the networked analogue of the simulator's
+    :class:`NodeDownError`/:class:`MessageLostError` session aborts.
+    """

@@ -1,0 +1,110 @@
+"""Blocking client for a :class:`~repro.net.node.NetNode`'s JSON API.
+
+The node's client listener speaks length-prefixed JSON (see
+:mod:`repro.net.framing`); this client wraps it in plain blocking
+sockets so tests and the parity harness need no event loop of their
+own.  One client holds one connection; requests and responses strictly
+alternate.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.errors import NetworkSessionError, WireFormatError
+
+__all__ = ["NodeClient"]
+
+_MAX_VARINT_BYTES = 10
+
+
+def _encode_uvarint(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+class NodeClient:
+    """One blocking connection to one node's client port."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < n:
+            chunk = self._sock.recv(n - len(chunks))
+            if not chunk:
+                raise NetworkSessionError(
+                    f"node at {self.host}:{self.port} closed the connection"
+                )
+            chunks += chunk
+        return bytes(chunks)
+
+    def _read_uvarint(self) -> int:
+        value = 0
+        shift = 0
+        for _ in range(_MAX_VARINT_BYTES):
+            byte = self._read_exact(1)[0]
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+        raise WireFormatError("unterminated varint from node")
+
+    def request(self, payload: dict) -> dict:
+        """One round trip; raises on transport failure or error reply."""
+        blob = json.dumps(payload).encode("utf-8")
+        self._sock.sendall(_encode_uvarint(len(blob)) + blob)
+        length = self._read_uvarint()
+        response = json.loads(self._read_exact(length))
+        if not response.get("ok"):
+            raise NetworkSessionError(
+                f"node at {self.host}:{self.port} rejected "
+                f"{payload.get('op')!r}: {response.get('error')}"
+            )
+        return response
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "NodeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- operations -----------------------------------------------------------
+
+    def ping(self) -> int:
+        """The node's id — doubles as the readiness probe."""
+        return int(self.request({"op": "ping"})["node"])
+
+    def put(self, item: str, value: bytes) -> None:
+        self.request({"op": "put", "item": item, "value": value.hex()})
+
+    def get(self, item: str) -> bytes:
+        return bytes.fromhex(self.request({"op": "get", "item": item})["value"])
+
+    def sync(self, peer: int) -> dict:
+        """Run one pull session against ``peer`` on the node's behalf."""
+        return self.request({"op": "sync", "peer": peer})
+
+    def status(self) -> dict:
+        return self.request({"op": "status"})
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})

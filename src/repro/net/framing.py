@@ -1,0 +1,168 @@
+"""Async length-prefixed framing over TCP byte streams.
+
+The wire format is exactly :mod:`repro.wire`'s frame layout —
+``uvarint(len(payload)) payload`` — so a frame read off a socket feeds
+:meth:`~repro.wire.WireCodec.decode` unchanged, and a frame produced by
+:meth:`~repro.wire.WireCodec.encode` is written to the socket as-is.
+This module only moves the bytes; it never looks inside a payload.
+
+Each peer connection opens with a fixed **preamble** (three raw
+uvarints — magic, protocol version, sender's node id) so the serving
+side knows which replica is talking before any frame arrives.  The
+preamble is deliberately *outside* the message registry: it is
+connection plumbing, not a protocol message, and it must stay readable
+even when the registry evolves.
+
+The JSON client API shares the length-prefix discipline
+(:func:`read_blob`/:func:`write_blob`) with a plain payload instead of
+a registered frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import NetworkSessionError, WireFormatError
+from repro.wire.varint import write_uvarint
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ConnectionClosed",
+    "read_stream_uvarint",
+    "read_frame",
+    "write_frame",
+    "read_blob",
+    "write_blob",
+    "send_preamble",
+    "receive_preamble",
+]
+
+#: First uvarint of every peer connection; "EP" for epidemic.
+MAGIC = 0xE95
+#: Bumped on any incompatible change to framing or the preamble.
+PROTOCOL_VERSION = 1
+#: Upper bound on a single frame/blob; a malformed length prefix must
+#: not make the reader allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 26
+
+_MAX_VARINT_BYTES = 10
+
+
+class ConnectionClosed(NetworkSessionError):
+    """The peer closed (or reset) the connection.
+
+    Clean EOF *between* frames and a tear mid-frame both land here: for
+    the session driver they mean the same thing — the answer is not
+    coming, drop the connection-scoped caches and (maybe) redial.
+    """
+
+
+async def read_stream_uvarint(
+    reader: asyncio.StreamReader,
+) -> tuple[int, bytes]:
+    """One LEB128 uvarint off the stream; returns ``(value, raw bytes)``.
+
+    The raw bytes come back too because a frame is decoded *including*
+    its length prefix (:meth:`WireCodec.decode` re-parses it), so the
+    reader must keep the exact prefix it consumed.
+    """
+    raw = bytearray()
+    value = 0
+    shift = 0
+    while True:
+        chunk = await reader.read(1)
+        if not chunk:
+            raise ConnectionClosed(
+                "connection closed while reading a length prefix"
+                if raw
+                else "connection closed"
+            )
+        raw += chunk
+        byte = chunk[0]
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, bytes(raw)
+        shift += 7
+        if len(raw) >= _MAX_VARINT_BYTES:
+            raise WireFormatError("unterminated varint in stream")
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """One whole frame — length prefix *included* — off the stream."""
+    length, prefix = await read_stream_uvarint(reader)
+    if length > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ConnectionClosed("connection closed mid-frame") from None
+    return prefix + payload
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    """Write one codec-produced frame (already length-prefixed) as-is."""
+    writer.write(frame)
+    try:
+        await writer.drain()
+    except (ConnectionError, OSError):
+        raise ConnectionClosed("connection closed while writing") from None
+
+
+async def read_blob(reader: asyncio.StreamReader) -> bytes:
+    """One length-prefixed payload *without* the prefix (client API)."""
+    length, _prefix = await read_stream_uvarint(reader)
+    if length > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"blob length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ConnectionClosed("connection closed mid-blob") from None
+
+
+async def write_blob(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Length-prefix and write one client-API payload."""
+    buf = bytearray()
+    write_uvarint(buf, len(payload))
+    buf += payload
+    writer.write(bytes(buf))
+    try:
+        await writer.drain()
+    except (ConnectionError, OSError):
+        raise ConnectionClosed("connection closed while writing") from None
+
+
+async def send_preamble(writer: asyncio.StreamWriter, node_id: int) -> None:
+    """Open a peer connection: magic, protocol version, our node id."""
+    buf = bytearray()
+    write_uvarint(buf, MAGIC)
+    write_uvarint(buf, PROTOCOL_VERSION)
+    write_uvarint(buf, node_id)
+    writer.write(bytes(buf))
+    try:
+        await writer.drain()
+    except (ConnectionError, OSError):
+        raise ConnectionClosed("connection closed during handshake") from None
+
+
+async def receive_preamble(reader: asyncio.StreamReader) -> int:
+    """Validate the peer's preamble; returns the peer's node id."""
+    magic, _ = await read_stream_uvarint(reader)
+    if magic != MAGIC:
+        raise WireFormatError(
+            f"bad preamble magic {magic:#x} (expected {MAGIC:#x}) — "
+            "not a repro.net peer connection"
+        )
+    version, _ = await read_stream_uvarint(reader)
+    if version != PROTOCOL_VERSION:
+        raise WireFormatError(
+            f"peer speaks protocol version {version}, "
+            f"this node speaks {PROTOCOL_VERSION}"
+        )
+    node_id, _ = await read_stream_uvarint(reader)
+    return node_id

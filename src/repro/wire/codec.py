@@ -93,9 +93,9 @@ class Encoder:
         codec = self._codec
         base: tuple[int, ...] | None = None
         if codec.delta_vv:
-            key = (self._src, self._dst, stream_key)
-            base = codec._sent.get(key)
-            codec._sent[key] = counts
+            streams = codec._sent.setdefault((self._src, self._dst), {})
+            base = streams.get(stream_key)
+            streams[stream_key] = counts
         if base is not None and len(base) == len(counts):
             changed = [k for k in range(len(counts)) if counts[k] != base[k]]
             self.buf.append(_DELTA_VV)
@@ -161,12 +161,16 @@ class Decoder:
         tag = self.data[self.pos]
         self.pos += 1
         codec = self._codec
-        key = (self._src, self._dst, stream_key)
+        link = (self._src, self._dst)
         if tag == _FULL_VV:
             n = self.uvarint()
             counts = tuple(self.uvarint() for _ in range(n))
         elif tag == _DELTA_VV:
-            base = codec._seen.get(key) if codec.delta_vv else None
+            base = (
+                codec._seen.get(link, {}).get(stream_key)
+                if codec.delta_vv
+                else None
+            )
             if base is None:
                 raise WireFormatError(
                     f"delta version vector for stream {stream_key!r} from "
@@ -191,7 +195,7 @@ class Decoder:
         else:
             raise WireFormatError(f"unknown version-vector tag {tag:#x}")
         if codec.delta_vv:
-            codec._seen[key] = counts
+            codec._seen.setdefault(link, {})[stream_key] = counts
         return VersionVector.from_counts(counts)
 
 
@@ -209,12 +213,16 @@ class WireCodec:
 
     def __init__(self, delta_vv: bool = True) -> None:
         self.delta_vv = delta_vv
-        # (src, dst, stream) -> last vector encoded on / decoded from
-        # that directed link.  Sender and receiver sides are separate
+        # (src, dst) -> {stream -> last vector encoded on / decoded from
+        # that directed link}.  Sender and receiver sides are separate
         # maps: they advance at different times (encode vs decode), and
-        # an in-flight drop advances one without the other.
-        self._sent: dict[tuple[int, int, str], tuple[int, ...]] = {}
-        self._seen: dict[tuple[int, int, str], tuple[int, ...]] = {}
+        # an in-flight drop advances one without the other.  Indexing by
+        # link (not by flat (src, dst, stream) triples) makes
+        # invalidation O(streams on that link): the networked mode
+        # invalidates on *every* disconnect, and a flat map would charge
+        # each disconnect a scan of every cached stream in the process.
+        self._sent: dict[tuple[int, int], dict[str, tuple[int, ...]]] = {}
+        self._seen: dict[tuple[int, int], dict[str, tuple[int, ...]]] = {}
 
     def encode(self, src: int, dst: int, message: Any) -> bytes:
         """Encode ``message`` into a length-prefixed frame for the
@@ -253,20 +261,31 @@ class WireCodec:
     def invalidate_link(self, src: int, dst: int) -> None:
         """Forget the caches of the directed link ``src -> dst`` — called
         when a frame is dropped in flight *after* encoding advanced the
-        sender cache the receiver will never see."""
-        for cache in (self._sent, self._seen):
-            stale = [key for key in cache if key[0] == src and key[1] == dst]
-            for key in stale:
-                del cache[key]
+        sender cache the receiver will never see, and by the networked
+        mode on every disconnect.  O(streams on that link): other links'
+        caches are never visited."""
+        self._sent.pop((src, dst), None)
+        self._seen.pop((src, dst), None)
 
     def invalidate_node(self, node: int) -> None:
         """Forget every cache touching ``node`` — called on crash *and*
-        on recovery, so faulted sessions restart from full vectors."""
+        on recovery, so faulted sessions restart from full vectors.
+        O(links touching the node), independent of how many streams the
+        *other* links have cached."""
         for cache in (self._sent, self._seen):
-            stale = [key for key in cache if node in (key[0], key[1])]
-            for key in stale:
-                del cache[key]
+            stale = [link for link in cache if node in link]
+            for link in stale:
+                del cache[link]
 
     def cache_size(self) -> int:
         """Total cached vector streams, both directions (test aid)."""
-        return len(self._sent) + len(self._seen)
+        return sum(len(streams) for streams in self._sent.values()) + sum(
+            len(streams) for streams in self._seen.values()
+        )
+
+    def link_cache_size(self, src: int, dst: int) -> int:
+        """Cached vector streams on the directed link ``src -> dst``,
+        sender and receiver sides combined (test aid)."""
+        return len(self._sent.get((src, dst), {})) + len(
+            self._seen.get((src, dst), {})
+        )

@@ -191,3 +191,51 @@ class TestCrashAfterPartialPush:
         hook.note_push(0)
         assert not hook.should_crash_now(0, net)
         assert net.is_up(0)
+
+
+class TestOverlappingLossyWindows:
+    """Overlapping :class:`LossyWindow` events in both close orderings.
+
+    The plan drives the network's stacked ``push_loss_rate`` /
+    ``pop_loss_rate`` API, so whichever window closes first, the rate
+    falls back to the window still open — never silently to the base
+    rate (the overlapping-window clobbering bug).
+    """
+
+    def rates_by_round(self, plan, last_round, n_nodes=2):
+        net = SimulatedNetwork(n_nodes)
+        rates = {}
+        for round_no in range(last_round + 1):
+            plan.apply_round(round_no, net)
+            rates[round_no] = net.loss_rate
+        return rates
+
+    def test_nested_windows_inner_closes_first(self):
+        plan = FailurePlan([
+            LossyWindow(rate=0.3, at_round=1, until_round=5, seed=1),
+            LossyWindow(rate=0.7, at_round=2, until_round=4, seed=2),
+        ])
+        assert self.rates_by_round(plan, 6) == {
+            0: 0.0, 1: 0.3, 2: 0.7, 3: 0.7, 4: 0.3, 5: 0.0, 6: 0.0,
+        }
+
+    def test_staggered_windows_older_closes_first(self):
+        plan = FailurePlan([
+            LossyWindow(rate=0.3, at_round=1, until_round=4, seed=1),
+            LossyWindow(rate=0.7, at_round=2, until_round=6, seed=2),
+        ])
+        assert self.rates_by_round(plan, 7) == {
+            0: 0.0, 1: 0.3, 2: 0.7, 3: 0.7, 4: 0.7, 5: 0.7, 6: 0.0,
+            7: 0.0,
+        }
+
+    def test_event_declaration_order_does_not_matter(self):
+        windows = [
+            LossyWindow(rate=0.3, at_round=1, until_round=4, seed=1),
+            LossyWindow(rate=0.7, at_round=2, until_round=6, seed=2),
+        ]
+        forward = FailurePlan(list(windows))
+        backward = FailurePlan(list(reversed(windows)))
+        assert self.rates_by_round(forward, 7) == self.rates_by_round(
+            backward, 7
+        )

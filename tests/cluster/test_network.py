@@ -12,6 +12,7 @@ from repro.errors import (
     InvariantViolation,
     MessageLostError,
     NodeDownError,
+    SimulationError,
     UnknownNodeError,
 )
 from repro.metrics.counters import OverheadCounters
@@ -383,9 +384,9 @@ class TestWireMode:
         net.arm_message_drop(nth_message=1)
         with pytest.raises(MessageLostError):
             net.deliver(0, 1, request)
-        assert all(
-            key[:2] != (0, 1) for key in net._codec._sent
-        ), "dropped frame must wipe the link's sender cache"
+        assert net._codec.link_cache_size(0, 1) == 0, (
+            "dropped frame must wipe the link's caches"
+        )
         # Delivery after the drop re-sends a full vector cleanly.
         assert net.deliver(0, 1, request) == request
 
@@ -402,8 +403,7 @@ class TestWireMode:
         request = PropagationRequest(1, VersionVector.from_counts((5, 5, 5)))
         net.deliver(0, 1, request)
         # Corrupt the receiver's cached base behind the codec's back.
-        key = (0, 1, "dbvv")
-        net._codec._seen[key] = (0, 0, 0)
+        net._codec._seen[(0, 1)]["dbvv"] = (0, 0, 0)
         bumped = PropagationRequest(1, VersionVector.from_counts((6, 5, 5)))
         with pytest.raises(InvariantViolation):
             net.deliver(0, 1, bumped)
@@ -417,3 +417,112 @@ class TestWireMode:
         monkeypatch.setenv("REPRO_WIRE", "1")
         net = _SimulatedNetwork(2)
         assert net.wire is True
+
+
+class TestStackedLossWindows:
+    def test_windows_stack_and_unwind_in_nested_order(self):
+        net = SimulatedNetwork(2, loss_rate=0.1, rng=random.Random(5))
+        outer = net.push_loss_rate(0.5)
+        assert net.loss_rate == 0.5
+        inner = net.push_loss_rate(0.9)
+        assert net.loss_rate == 0.9
+        assert net.open_loss_windows() == 2
+        net.pop_loss_rate(inner)
+        assert net.loss_rate == 0.5
+        net.pop_loss_rate(outer)
+        assert net.loss_rate == 0.1
+        assert net.open_loss_windows() == 0
+
+    def test_staggered_close_keeps_the_younger_window_active(self):
+        """The other ordering: the older window closes first while the
+        younger one is still open — its rate must stay active (bare
+        set/restore pairs used to clobber it back to the base rate)."""
+        net = SimulatedNetwork(2, rng=random.Random(5))
+        older = net.push_loss_rate(0.4)
+        younger = net.push_loss_rate(0.8)
+        net.pop_loss_rate(older)
+        assert net.loss_rate == 0.8
+        assert net.open_loss_windows() == 1
+        net.pop_loss_rate(younger)
+        assert net.loss_rate == 0.0
+
+    def test_unknown_and_stale_tokens_raise(self):
+        net = SimulatedNetwork(2, rng=random.Random(5))
+        token = net.push_loss_rate(0.4)
+        with pytest.raises(SimulationError):
+            net.pop_loss_rate(token + 17)
+        net.pop_loss_rate(token)
+        with pytest.raises(SimulationError):
+            net.pop_loss_rate(token)  # already closed
+
+    def test_restore_refuses_while_windows_open(self):
+        """``restore_loss_rate`` silently reinstating the base rate under
+        an open stacked window was the overlapping-window bug; it must
+        refuse until every window is popped."""
+        net = SimulatedNetwork(2, rng=random.Random(5))
+        token = net.push_loss_rate(0.4)
+        with pytest.raises(SimulationError):
+            net.restore_loss_rate()
+        assert net.loss_rate == 0.4
+        net.pop_loss_rate(token)
+        net.restore_loss_rate()
+        assert net.loss_rate == 0.0
+
+    def test_push_validates_like_the_constructor(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(ValueError):
+            net.push_loss_rate(0.5)       # nonzero rate without an RNG
+        with pytest.raises(ValueError):
+            net.push_loss_rate(1.0, rng=random.Random(0))
+        assert net.open_loss_windows() == 0
+
+
+class TestPerLinkDropAccounting:
+    def test_bytes_dropped_split_per_link_and_delivered_balances(self):
+        net = SimulatedNetwork(2, loss_rate=0.5, rng=random.Random(11))
+        attempts, drops = 40, {(0, 1): 0, (1, 0): 0}
+        for index in range(attempts):
+            src, dst = (0, 1) if index % 2 == 0 else (1, 0)
+            try:
+                net.deliver(src, dst, MSG)
+            except MessageLostError:
+                drops[(src, dst)] += 1
+        size = MSG.wire_size()
+        for (src, dst), dropped in drops.items():
+            stats = net.link_stats(src, dst)
+            assert stats.bytes == (attempts // 2) * size
+            assert stats.bytes_dropped == dropped * size
+            assert stats.bytes_delivered == stats.bytes - stats.bytes_dropped
+        assert net.bytes_dropped == sum(drops.values()) * size
+        assert (
+            net.total_bytes_delivered()
+            == net.total_bytes() - net.bytes_dropped
+        )
+
+    def test_pristine_link_reports_zero_drops(self):
+        net = SimulatedNetwork(3)
+        net.deliver(0, 1, MSG)
+        assert net.link_stats(0, 1).bytes_dropped == 0
+        assert net.link_stats(0, 1).bytes_delivered == MSG.wire_size()
+        assert net.link_stats(2, 1).bytes_delivered == 0
+
+
+class TestFrameCensus:
+    def test_census_counts_messages_by_type(self):
+        net = SimulatedNetwork(2)
+        request = PropagationRequest(1, VersionVector.from_counts((1, 0)))
+        net.deliver(0, 1, request)
+        net.deliver(1, 0, MSG)
+        net.deliver(1, 0, MSG)
+        assert net.frame_census == {
+            "PropagationRequest": 1,
+            "YouAreCurrent": 2,
+        }
+
+    def test_census_counts_dropped_frames_too(self):
+        """A dropped frame left the sender; the census is a traffic
+        census, not a delivery census."""
+        net = SimulatedNetwork(2, loss_rate=0.999, rng=random.Random(7))
+        with pytest.raises(MessageLostError):
+            net.deliver(0, 1, MSG)
+        assert net.frame_census == {"YouAreCurrent": 1}

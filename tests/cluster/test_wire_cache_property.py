@@ -1,0 +1,131 @@
+"""Property: the delta-VV wire caches stay correct under any
+interleaving of partitions, heals, membership growth, crashes,
+recoveries, and lossy windows.
+
+Every delivery in ``wire=True, sanitize=True`` mode round-trips
+``decode(encode(m)) == m`` through the per-link delta caches and
+raises :class:`~repro.errors.InvariantViolation` on the slightest
+sender/receiver divergence, while a delta arriving without its base
+raises :class:`~repro.errors.WireFormatError`.  So the property is
+simply: drive a cluster through an arbitrary fault/growth schedule
+and no such error may escape — and once every fault is lifted, a
+conflict-free history must still converge (the caches never wedge a
+link shut).
+
+Cache-invalidating events covered: in-flight drops (sender cache ran
+ahead — link invalidated), crash/recovery (node's volatile caches
+gone — both roles invalidated), membership growth (vector width
+changes — full-vector fallback).  Partitions fail at connect time
+before bytes flow, so they must *not* touch the caches; the schedule
+interleaves them to prove the codec survives both kinds.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.protocol import DBVVProtocolNode
+from repro.substrate.operations import Put
+
+ITEMS = ("alpha", "beta", "gamma")
+
+MAX_GROWTH = 2
+
+
+def op_strategy():
+    return st.one_of(
+        st.tuples(st.just("round")),
+        st.tuples(
+            st.just("update"),
+            st.integers(min_value=0, max_value=63),
+            st.integers(min_value=0, max_value=len(ITEMS) - 1),
+            st.integers(min_value=0, max_value=255),
+        ),
+        st.tuples(st.just("partition"), st.integers(min_value=1, max_value=63)),
+        st.tuples(st.just("heal")),
+        st.tuples(st.just("crash"), st.integers(min_value=0, max_value=63)),
+        st.tuples(st.just("recover"), st.integers(min_value=0, max_value=63)),
+        st.tuples(st.just("add_node")),
+        st.tuples(
+            st.just("push_loss"), st.integers(min_value=1, max_value=1 << 16)
+        ),
+        st.tuples(st.just("pop_loss")),
+    )
+
+
+def build_node(node_id, counters, n_nodes):
+    return DBVVProtocolNode(node_id, n_nodes, ITEMS, counters)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=st.lists(op_strategy(), min_size=1, max_size=30))
+def test_delta_caches_survive_fault_and_growth_interleavings(ops):
+    sim = ClusterSimulation(
+        lambda node_id, counters: build_node(node_id, counters, 3),
+        3,
+        ITEMS,
+        sanitize=True,
+        wire=True,
+        seed=11,
+    )
+    grown = 0
+    loss_tokens = []
+    update_serial = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "round":
+            sim.run_round()
+        elif kind == "update":
+            node_id = op[1] % sim.n_nodes
+            if sim.network.is_up(node_id):
+                update_serial += 1
+                sim.apply_update(
+                    node_id,
+                    ITEMS[op[2]],
+                    Put(bytes([op[3], update_serial % 256])),
+                )
+        elif kind == "partition":
+            pivot = op[1] % (sim.n_nodes - 1) + 1
+            sim.network.partition(
+                [list(range(pivot)), list(range(pivot, sim.n_nodes))]
+            )
+        elif kind == "heal":
+            sim.network.heal()
+        elif kind == "crash":
+            node_id = op[1] % sim.n_nodes
+            if sim.network.is_up(node_id) and len(sim.up_nodes()) > 1:
+                sim.network.set_down(node_id)
+        elif kind == "recover":
+            node_id = op[1] % sim.n_nodes
+            if not sim.network.is_up(node_id):
+                sim.network.set_up(node_id)
+        elif kind == "add_node":
+            if grown < MAX_GROWTH:
+                grown += 1
+                sim.add_node(build_node)
+        elif kind == "push_loss":
+            loss_tokens.append(
+                sim.network.push_loss_rate(0.3, rng=random.Random(op[1]))
+            )
+        else:
+            if loss_tokens:
+                sim.network.pop_loss_rate(loss_tokens.pop())
+
+    # Lift every fault and let the epidemic finish: the caches must
+    # not have wedged any link, and a conflict-free history converges.
+    while loss_tokens:
+        sim.network.pop_loss_rate(loss_tokens.pop())
+    sim.network.heal()
+    for node_id in range(sim.n_nodes):
+        if not sim.network.is_up(node_id):
+            sim.network.set_up(node_id)
+    for _ in range(4):
+        sim.run_full_mesh_round()
+    if sim.total_conflicts() == 0:
+        assert sim.converged()

@@ -1,0 +1,157 @@
+"""Regression tests for imported log gaps (frozen-DBVV contagion).
+
+A conflict freezes DBVV accounting on the replica that declares it:
+the conflicting adoption is dropped, so later log records legitimately
+run ahead of the DBVV there.  But the overhang does not stay put — any
+replica that pulls from the frozen one imports the gapped records
+along with perfectly clean adoptions, ending up with a log component
+ahead of its DBVV while being conflict-free itself.
+
+``check_invariants`` used to exempt only replicas with *local*
+conflict evidence, so a clean third party tripped the log-seqno bound
+(``log component k claims seqno m but DBVV[k] is only v``) on
+histories it handled correctly.  The fix records every imported gap at
+its single creation site (``accept_propagation``) and enforces the
+bound against ``max(dbvv[k], gap bound)`` on every replica — which
+also *tightens* the check on frozen replicas, previously exempt
+entirely.
+"""
+
+import pytest
+
+from repro.core.node import EpidemicNode
+from repro.core.protocol import DBVVProtocolNode
+from repro.errors import InvariantViolation
+from repro.substrate.operations import Put
+from repro.substrate.persistence import dump_node, load_node
+
+ITEMS = ["alpha", "gamma"]
+
+
+def build_contagion_triple():
+    """Three replicas: A is the update source, B freezes on a conflict
+    with A, and C — which never sees any conflict — imports B's gap.
+
+    Returns ``(a, b, c)`` right after C's contaminating pull.
+    """
+    a = EpidemicNode(0, 3, ITEMS)
+    b = EpidemicNode(1, 3, ITEMS)
+    c = EpidemicNode(2, 3, ITEMS)
+
+    a.update("alpha", Put(b"a1"))        # origin-0 seqno 1
+    b.pull_from(a)                       # B reflects alpha@1
+    a.update("alpha", Put(b"a2"))        # seqno 2
+    a.update("gamma", Put(b"g1"))        # seqno 3
+    b.update("alpha", Put(b"b1"))        # B forks alpha -> conflict brews
+
+    # B pulls A: alpha is CONCURRENT (conflict declared, adoption and
+    # records dropped), gamma is adopted — but gamma's record carries
+    # seqno 3 while B's DBVV only accounts alpha@1 + gamma@3 = 2
+    # origin-0 updates.  B is frozen, so it was always exempt.
+    outcome, _ = b.pull_from(a)
+    assert outcome.conflicted == ["alpha"]
+    assert b.conflicts.count == 1
+
+    # C pulls B: adopts B's alpha lineage and gamma — both dominating,
+    # zero conflicts — yet imports the gapped record (gamma, 3).
+    outcome, _ = c.pull_from(b)
+    assert outcome.conflicted == []
+    assert c.conflicts.count == 0
+    return a, b, c
+
+
+class TestGapContagion:
+    def test_clean_third_party_passes_invariants(self):
+        """The regression: C holds no conflict evidence at all but its
+        origin-0 log runs ahead of its DBVV; this used to raise."""
+        _, _, c = build_contagion_triple()
+        assert not any(entry.in_conflict for entry in c.store)
+        assert c.log[0].max_seqno == 3
+        assert c.dbvv[0] == 2
+        c.check_invariants()
+        assert c.log_gaps == {0: 3}
+        assert c.has_open_log_gaps()
+
+    def test_frozen_replica_records_its_own_gap(self):
+        _, b, _ = build_contagion_triple()
+        b.check_invariants()
+        assert b.log_gaps == {0: 3}
+        assert b.has_open_log_gaps()
+
+    def test_gapless_source_stays_tight(self):
+        a, _, _ = build_contagion_triple()
+        a.check_invariants()
+        assert a.log_gaps == {}
+        assert not a.has_open_log_gaps()
+
+    def test_bound_is_enforced_beyond_the_recorded_gap(self):
+        """The tightened check: even a frozen replica may not grow a
+        log component past both the DBVV and the recorded gap bound —
+        previously any conflict anywhere disabled the check entirely."""
+        _, b, c = build_contagion_triple()
+        b.log.add(0, "alpha", 99)
+        with pytest.raises(InvariantViolation):
+            b.check_invariants()
+        c.log.add(0, "alpha", 99)
+        with pytest.raises(InvariantViolation):
+            c.check_invariants()
+
+    def test_resolution_heals_the_gap_transitively(self):
+        """Resolving the conflict at B advances the DBVV past the gap;
+        C heals by pulling the resolved (dominating) copy."""
+        _, b, c = build_contagion_triple()
+        b.resolve_conflict("alpha", b"merged")
+        assert not b.has_open_log_gaps()
+        b.check_invariants()
+
+        outcome, _ = c.pull_from(b)
+        assert outcome.adopted == ["alpha"]
+        assert c.read("alpha") == b"merged"
+        assert not c.has_open_log_gaps()
+        c.check_invariants()
+
+    def test_gaps_survive_crash_and_restore(self):
+        """``log_gaps`` is derived state: a restored snapshot of a
+        clean-but-gapped replica must not trip the invariant checker."""
+        _, _, c = build_contagion_triple()
+        restored = load_node(dump_node(c))
+        restored.check_invariants()
+        assert restored.log_gaps == {0: 3}
+        assert restored.has_open_log_gaps()
+
+
+class TestCertificate:
+    def make_adapters(self):
+        return [DBVVProtocolNode(k, 3, ITEMS) for k in range(3)]
+
+    def drive_contagion(self, adapters):
+        a, b, c = (adapter.node for adapter in adapters)
+        a.update("alpha", Put(b"a1"))
+        b.pull_from(a)
+        a.update("alpha", Put(b"a2"))
+        a.update("gamma", Put(b"g1"))
+        b.update("alpha", Put(b"b1"))
+        b.pull_from(a)
+        c.pull_from(b)
+
+    def test_open_gap_voids_the_dbvv_certificate(self):
+        """A clean-but-gapped replica's reflected update set is not a
+        per-origin prefix, so equal DBVVs no longer imply equal state:
+        the certificate must be withheld, exactly as for conflicts."""
+        adapters = self.make_adapters()
+        self.drive_contagion(adapters)
+        a_version, b_version, c_version = (
+            adapter.state_version() for adapter in adapters
+        )
+        assert a_version.certificate is not None
+        assert b_version.certificate is None     # conflicted
+        assert c_version.certificate is None     # clean but gapped
+
+    def test_healed_gap_restores_the_certificate(self):
+        adapters = self.make_adapters()
+        self.drive_contagion(adapters)
+        b, c = adapters[1].node, adapters[2].node
+        b.resolve_conflict("alpha", b"merged")
+        c.pull_from(b)
+        assert not c.has_open_log_gaps()
+        assert adapters[2].state_version().certificate is not None

@@ -1,0 +1,82 @@
+"""Unit tests for the sans-I/O session driver (repro.core.session).
+
+The driver is the piece both deployments share: the simulator's
+protocol adapter and the networked node must drive identical protocol
+logic, so these tests pin its contract without any transport at all.
+"""
+
+import pytest
+
+from repro.core.messages import PropagationReply, YouAreCurrent
+from repro.core.node import EpidemicNode
+from repro.core.session import PullOutcome, PullSession, respond
+from repro.errors import ProtocolStateError
+from repro.substrate.operations import Put
+
+ITEMS = ["a", "b"]
+
+
+def make_pair():
+    return (
+        EpidemicNode(0, 2, ITEMS),
+        EpidemicNode(1, 2, ITEMS),
+    )
+
+
+class TestPullSession:
+    def test_identical_replicas_exchange_you_are_current(self):
+        recipient, source = make_pair()
+        pull = PullSession(recipient)
+        answer = respond(source, pull.request())
+        assert isinstance(answer, YouAreCurrent)
+        outcome = pull.conclude(answer)
+        assert outcome == PullOutcome(identical=True, adopted=(), conflicts=0)
+
+    def test_pull_adopts_missing_updates(self):
+        recipient, source = make_pair()
+        source.update("a", Put(b"fresh"))
+        pull = PullSession(recipient)
+        answer = respond(source, pull.request())
+        assert isinstance(answer, PropagationReply)
+        outcome = pull.conclude(answer)
+        assert outcome.identical is False
+        assert outcome.adopted == ("a",)
+        assert outcome.conflicts == 0
+        assert recipient.read("a") == b"fresh"
+        assert recipient.dbvv.as_tuple() == source.dbvv.as_tuple()
+
+    def test_driver_round_trip_reaches_you_are_current(self):
+        recipient, source = make_pair()
+        source.update("b", Put(b"v1"))
+        first = PullSession(recipient)
+        first.conclude(respond(source, first.request()))
+        second = PullSession(recipient)
+        assert second.conclude(
+            respond(source, second.request())
+        ).identical
+
+    def test_conflicts_are_counted_per_session(self):
+        recipient, source = make_pair()
+        recipient.update("a", Put(b"mine"))
+        source.update("a", Put(b"theirs"))
+        pull = PullSession(recipient)
+        outcome = pull.conclude(respond(source, pull.request()))
+        assert outcome.conflicts == recipient.conflicts.count
+        assert outcome.conflicts > 0
+
+    def test_illegal_answer_type_raises(self):
+        recipient, _ = make_pair()
+        pull = PullSession(recipient)
+        pull.request()
+        with pytest.raises(ProtocolStateError):
+            pull.conclude("not a protocol message")
+
+    def test_dropped_session_leaves_node_untouched(self):
+        """Abandoning a session after request() must not disturb the
+        node — the request side is read-only."""
+        recipient, source = make_pair()
+        source.update("a", Put(b"x"))
+        before = recipient.dbvv.as_tuple()
+        PullSession(recipient).request()   # transport "loses" the rest
+        assert recipient.dbvv.as_tuple() == before
+        recipient.check_invariants()

@@ -1,0 +1,50 @@
+"""Multi-process tests: LocalCluster spawns real ``python -m repro.net``
+processes and drives them through the blocking client API."""
+
+import pytest
+
+from repro.errors import NetworkSessionError
+from repro.net.harness import LocalCluster
+
+ITEMS = ("a", "b")
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    log_dir = tmp_path_factory.mktemp("cluster-logs")
+    with LocalCluster(3, ITEMS, log_dir, seed=7) as running:
+        yield running
+
+
+class TestLocalCluster:
+    def test_every_node_answers_ping_with_its_id(self, cluster):
+        assert [cluster.client(k).ping() for k in range(3)] == [0, 1, 2]
+
+    def test_put_propagates_through_explicit_syncs(self, cluster):
+        cluster.client(0).put("a", b"spread me")
+        cluster.client(1).sync(0)
+        cluster.client(2).sync(1)
+        assert cluster.client(2).get("a") == b"spread me"
+
+    def test_status_reports_converged_state(self, cluster):
+        cluster.client(0).put("b", b"status check")
+        cluster.client(1).sync(0)
+        status = cluster.client(1).status()
+        assert status["store"]["b"] == b"status check".hex()
+        assert status["conflicts"] == 0
+        assert len(status["dbvv"]) == 3
+        assert status["census"]["PropagationRequest"] >= 1
+
+    def test_sync_against_identical_peer_reports_identical(self, cluster):
+        cluster.client(1).sync(0)
+        assert cluster.client(1).sync(0)["identical"] is True
+
+    def test_unknown_item_is_a_clean_error(self, cluster):
+        with pytest.raises(NetworkSessionError):
+            cluster.client(0).get("no-such-item")
+
+    def test_per_process_logs_exist(self, cluster):
+        for node_id in range(3):
+            log = cluster.log_dir / f"node-{node_id}.log"
+            assert log.exists()
+            assert "READY" in log.read_text()

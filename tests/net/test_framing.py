@@ -1,0 +1,208 @@
+"""Unit tests for the async TCP framing layer.
+
+Each test runs a real loopback socket pair inside ``asyncio.run`` —
+the framing functions take StreamReader/StreamWriter, and a genuine
+transport is the only honest way to exercise EOF and mid-frame tears.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import PropagationRequest
+from repro.core.version_vector import VersionVector
+from repro.errors import WireFormatError
+from repro.net import framing
+from repro.net.framing import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    read_blob,
+    read_frame,
+    receive_preamble,
+    send_preamble,
+    write_blob,
+    write_frame,
+)
+from repro.wire import WireCodec
+
+
+class _Pipe:
+    """A connected loopback socket pair with stream wrappers."""
+
+    async def __aenter__(self):
+        self._ready: asyncio.Queue = asyncio.Queue()
+
+        async def on_connect(reader, writer):
+            await self._ready.put((reader, writer))
+
+        self._server = await asyncio.start_server(
+            on_connect, "127.0.0.1", 0
+        )
+        port = self._server.sockets[0].getsockname()[1]
+        self.client_reader, self.client_writer = await asyncio.open_connection(
+            "127.0.0.1", port
+        )
+        self.server_reader, self.server_writer = await self._ready.get()
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self.client_writer.close()
+        self.server_writer.close()
+        self._server.close()
+        await self._server.wait_closed()
+
+
+class TestBlobs:
+    @pytest.mark.parametrize(
+        "payload", [b"", b"x", b"hello", b"\x00" * 200, b"\xff" * 5000]
+    )
+    def test_round_trip(self, payload):
+        async def run():
+            async with _Pipe() as pipe:
+                await write_blob(pipe.client_writer, payload)
+                return await read_blob(pipe.server_reader)
+
+        assert asyncio.run(run()) == payload
+
+    def test_many_blobs_keep_boundaries(self):
+        payloads = [b"a", b"bb" * 100, b"", b"ccc"]
+
+        async def run():
+            async with _Pipe() as pipe:
+                for payload in payloads:
+                    await write_blob(pipe.client_writer, payload)
+                return [
+                    await read_blob(pipe.server_reader) for _ in payloads
+                ]
+
+        assert asyncio.run(run()) == payloads
+
+    def test_eof_between_blobs_is_connection_closed(self):
+        async def run():
+            async with _Pipe() as pipe:
+                pipe.client_writer.close()
+                await read_blob(pipe.server_reader)
+
+        with pytest.raises(ConnectionClosed):
+            asyncio.run(run())
+
+    def test_tear_mid_blob_is_connection_closed(self):
+        async def run():
+            async with _Pipe() as pipe:
+                # Length prefix promises 10 bytes; only 3 arrive.
+                pipe.client_writer.write(bytes([10]) + b"abc")
+                await pipe.client_writer.drain()
+                pipe.client_writer.close()
+                await read_blob(pipe.server_reader)
+
+        with pytest.raises(ConnectionClosed):
+            asyncio.run(run())
+
+    def test_oversize_length_rejected_without_allocating(self):
+        async def run():
+            async with _Pipe() as pipe:
+                buf = bytearray()
+                value = MAX_FRAME_BYTES + 1
+                while True:
+                    byte = value & 0x7F
+                    value >>= 7
+                    if value:
+                        buf.append(byte | 0x80)
+                    else:
+                        buf.append(byte)
+                        break
+                pipe.client_writer.write(bytes(buf))
+                await pipe.client_writer.drain()
+                await read_blob(pipe.server_reader)
+
+        with pytest.raises(WireFormatError):
+            asyncio.run(run())
+
+    def test_unterminated_varint_rejected(self):
+        async def run():
+            async with _Pipe() as pipe:
+                pipe.client_writer.write(b"\x80" * 10)
+                await pipe.client_writer.drain()
+                await read_blob(pipe.server_reader)
+
+        with pytest.raises(WireFormatError):
+            asyncio.run(run())
+
+
+class TestFrames:
+    def test_codec_frame_round_trips_the_socket(self):
+        """A frame off the socket is byte-identical to what the codec
+        produced — prefix included — so decode() works unchanged."""
+        codec_out = WireCodec()
+        codec_in = WireCodec()
+        message = PropagationRequest(1, VersionVector.from_counts((3, 0, 7)))
+        frame = codec_out.encode(0, 1, message)
+
+        async def run():
+            async with _Pipe() as pipe:
+                await write_frame(pipe.client_writer, frame)
+                return await read_frame(pipe.server_reader)
+
+        received = asyncio.run(run())
+        assert received == frame
+        assert codec_in.decode(0, 1, received) == message
+
+    def test_delta_frames_survive_the_stream(self):
+        """Consecutive frames on one connection decode through the
+        connection-scoped delta caches in order."""
+        sender = WireCodec()
+        receiver = WireCodec()
+        first = PropagationRequest(
+            1, VersionVector.from_counts((1, 0, 0, 0, 0, 0, 0, 0))
+        )
+        second = PropagationRequest(
+            1, VersionVector.from_counts((2, 0, 0, 0, 0, 0, 0, 0))
+        )
+
+        async def run():
+            async with _Pipe() as pipe:
+                for message in (first, second):
+                    await write_frame(
+                        pipe.client_writer, sender.encode(0, 1, message)
+                    )
+                return [
+                    await read_frame(pipe.server_reader) for _ in range(2)
+                ]
+
+        frames = asyncio.run(run())
+        assert receiver.decode(0, 1, frames[0]) == first
+        assert receiver.decode(0, 1, frames[1]) == second
+        # The second frame actually used the delta path: it is smaller
+        # than a full two-component vector frame could be.
+        assert len(frames[1]) < len(frames[0])
+
+
+class TestPreamble:
+    def test_round_trip_returns_node_id(self):
+        async def run():
+            async with _Pipe() as pipe:
+                await send_preamble(pipe.client_writer, 3)
+                return await receive_preamble(pipe.server_reader)
+
+        assert asyncio.run(run()) == 3
+
+    def test_bad_magic_rejected(self):
+        async def run():
+            async with _Pipe() as pipe:
+                pipe.client_writer.write(b"\x00\x01\x02")
+                await pipe.client_writer.drain()
+                await receive_preamble(pipe.server_reader)
+
+        with pytest.raises(WireFormatError):
+            asyncio.run(run())
+
+    def test_version_mismatch_rejected(self, monkeypatch):
+        async def run():
+            async with _Pipe() as pipe:
+                monkeypatch.setattr(framing, "PROTOCOL_VERSION", 99)
+                await send_preamble(pipe.client_writer, 0)
+                monkeypatch.undo()
+                await receive_preamble(pipe.server_reader)
+
+        with pytest.raises(WireFormatError):
+            asyncio.run(run())
