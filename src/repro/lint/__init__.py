@@ -28,16 +28,37 @@ R8  registered-codec        wire messages (``wire_size`` classes) without a
                             binary codec registration — encoded mode would
                             crash at runtime — and stale registrations
                             pointing at vanished messages
+R9  no-blocking-in-async    event-loop stalls in ``repro.net``: ``time.
+                            sleep``, synchronous socket/file/subprocess
+                            calls, and unbounded ``await x.wait()`` inside
+                            ``async def``
+R10 await-atomicity         shared node-state mutation sequences that span
+                            an await point outside an ``async with`` lock
+                            region — a half-applied transition visible to
+                            every other coroutine
+R11 tracked-tasks           raw ``asyncio.create_task``/``ensure_future``
+                            fire-and-forget tasks (weakly referenced,
+                            exceptions never retrieved) instead of
+                            ``repro.net.tasks.spawn``
+R12 cancellation-safety     ``except`` clauses that swallow ``asyncio.
+                            CancelledError`` (a cancelled task keeps
+                            running) or erase the typed ``repro.errors``
+                            taxonomy with a broad ``except Exception``
 ==  ======================  ==================================================
 
 Run it over the tree with ``python -m repro.lint src tests benchmarks``.
 Suppress a finding on one line with ``# lint: skip=<ID>`` (comma-
 separated for several) and a whole file with ``# lint: skip-file``;
 R7 findings are suppressed only by ``# pragma: full-scan <reason>``
-with a non-empty reason.  Every suppression should carry a justifying
+and R9 findings only by ``# pragma: blocking <reason>``, each with a
+non-empty reason.  Every suppression should carry a justifying
 comment.  Each run also audits the suppressions themselves: a pragma
 whose line no longer produces the finding it suppresses is reported
 under the pseudo rule id ``PRAGMA`` and fails the run.
+
+R10's underlying await-point control-flow analysis (per-function flow
+over statement ASTs, with ``async with``-lock guard regions) lives in
+:mod:`repro.lint.asyncflow` and is reusable by future rules.
 """
 
 from __future__ import annotations

@@ -2,8 +2,9 @@
 
 Every run does two passes over the tree:
 
-1. **lint** — the rule registry (R1–R8), with ``# lint: skip=<ID>`` /
-   ``# pragma: full-scan <reason>`` suppressions honoured;
+1. **lint** — the rule registry (R1–R12), with ``# lint: skip=<ID>`` /
+   ``# pragma: full-scan <reason>`` / ``# pragma: blocking <reason>``
+   suppressions honoured;
 2. **pragma audit** — flags suppressions that suppress nothing
    (refactored-away violations leave stale pragmas that silently re-arm
    later); reported under the pseudo rule id ``PRAGMA``.
@@ -29,7 +30,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "Protocol-aware static analysis for the epidemic-replication "
-            "codebase (rules R1-R8; see docs/DEVELOPING.md)."
+            "codebase (rules R1-R12; see docs/DEVELOPING.md)."
         ),
     )
     parser.add_argument(

@@ -1,0 +1,338 @@
+"""Await-point control flow for async concurrency-safety rules.
+
+The simulator's analysis stack (R1–R8) assumes single-threaded code:
+every function body is atomic, so "the invariants hold between calls"
+is a property of call boundaries.  :mod:`repro.net` broke that
+assumption — an ``async def`` body is atomic only *between awaits*,
+and any shared-state invariant that is false while a coroutine is
+suspended is a race against every other coroutine on the loop.  This
+module is the shared machinery for reasoning about that: a small
+abstract walk over a function's statement AST that knows
+
+* where the **await points** are — ``await`` expressions, ``async
+  for`` (which awaits the iterator protocol every iteration), and
+  ``async with`` (which awaits on enter and exit);
+* which statements sit inside a **guard region** — the body of an
+  ``async with`` whose context expression is a lock (see
+  :func:`is_lock_expression`);
+* how control flow joins — both arms of an ``if`` are tracked
+  separately and merged, so a mutation in one branch is never paired
+  with an await that only the *other* branch executes, and a branch
+  that ``return``/``raise``/``break``/``continue``-s out contributes
+  nothing to the join.
+
+The consumer-facing entry point is :class:`AtomicityScanner`: give it
+a predicate that recognises shared-state mutations and it reports
+every *unguarded* mutation pair separated by an await — the exact
+shape that silently breaks the per-node atomicity the paper's
+correctness argument (Theorem 2, DBVV monotonicity) assumes.  Rule
+R10 instantiates it with the networked node's shared-state model;
+the unit suite instantiates it with toy predicates to pin the flow
+semantics down.
+
+Deliberate approximations (this is a linter, not a model checker):
+
+* loops are walked **once** — a mutation sequence that spans an await
+  only across the loop's back edge is one complete transaction per
+  iteration and is accepted;
+* a call's internal awaits are not modelled; calling an ``async``
+  helper *is* an await point (the ``await`` is in the caller), and a
+  sync call is atomic;
+* ``except`` handlers are assumed reachable from any point of the
+  ``try`` body (states are joined), which over- rather than
+  under-approximates the pairs reported there.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Sequence
+
+__all__ = [
+    "AtomicitySpan",
+    "AtomicityScanner",
+    "FlowState",
+    "Pending",
+    "async_functions",
+    "is_lock_expression",
+    "iter_awaits",
+]
+
+#: Cap on the pending-mutation candidates tracked per path, so deeply
+#: branchy functions cannot blow the join up combinatorially.
+_MAX_PENDING = 8
+
+#: Name fragments that mark a context-manager expression as a lock.
+_LOCK_NAME_FRAGMENTS = ("lock", "mutex", "semaphore")
+
+#: AST nodes that open a new scope; the walk never descends into them
+#: (their bodies run at some other time, on some other frame).
+_NEW_SCOPE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def is_lock_expression(expr: ast.expr) -> bool:
+    """True when ``expr`` (an ``async with`` context) denotes a lock.
+
+    The test is lexical: any identifier or attribute in the expression
+    whose name contains ``lock``/``mutex``/``semaphore`` (case-
+    insensitive) marks the context as a guard — which covers ``lock``,
+    ``self._lock``, ``self._link_locks.setdefault(...)``, and every
+    conventional spelling without needing type inference.
+    """
+    for node in ast.walk(expr):
+        name: str | None = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None:
+            lowered = name.lower()
+            if any(fragment in lowered for fragment in _LOCK_NAME_FRAGMENTS):
+                return True
+    return False
+
+
+def iter_awaits(node: ast.AST) -> Iterator[ast.Await]:
+    """Every ``await`` expression lexically inside ``node``, without
+    descending into nested function/class scopes."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if current is not node and isinstance(current, _NEW_SCOPE):
+            continue
+        if isinstance(current, ast.Await):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def async_functions(tree: ast.AST) -> Iterator[ast.AsyncFunctionDef]:
+    """Every ``async def`` in ``tree``, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+@dataclass(frozen=True)
+class Pending:
+    """One shared-state mutation whose successor has not arrived yet."""
+
+    node: ast.AST
+    label: str
+    #: The first await crossed since the mutation, or ``None``.
+    await_node: ast.AST | None = None
+
+    @property
+    def awaited(self) -> bool:
+        return self.await_node is not None
+
+
+@dataclass
+class FlowState:
+    """Abstract state of one control-flow path."""
+
+    pendings: tuple[Pending, ...] = ()
+    dead: bool = False
+
+    def after_await(self, await_node: ast.AST) -> "FlowState":
+        if self.dead or not self.pendings:
+            return self
+        return FlowState(
+            tuple(
+                pending
+                if pending.awaited
+                else replace(pending, await_node=await_node)
+                for pending in self.pendings
+            ),
+            dead=self.dead,
+        )
+
+
+def _join(states: Sequence[FlowState]) -> FlowState:
+    """Merge the states of sibling paths; dead paths contribute nothing."""
+    alive = [state for state in states if not state.dead]
+    if not alive:
+        return FlowState(dead=True)
+    merged: list[Pending] = []
+    seen: set[tuple[int, int, bool]] = set()
+    for state in alive:
+        for pending in state.pendings:
+            key = (
+                getattr(pending.node, "lineno", 0),
+                getattr(pending.node, "col_offset", 0),
+                pending.awaited,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(pending)
+    return FlowState(tuple(merged[:_MAX_PENDING]))
+
+
+@dataclass(frozen=True)
+class AtomicitySpan:
+    """One detected race shape: two unguarded shared-state mutations
+    with at least one await point strictly between them."""
+
+    first: ast.AST
+    first_label: str
+    await_node: ast.AST
+    second: ast.AST
+    second_label: str
+
+
+class AtomicityScanner:
+    """Find unguarded mutation sequences that span an await point.
+
+    ``mutations(stmt)`` maps one *simple* statement to the shared-state
+    mutations it performs, in evaluation order, as ``(node, label)``
+    pairs; compound statements (``if``/``for``/``try``/``with``...) are
+    handled by the scanner itself and never passed to the callback.
+    ``is_guard`` classifies an ``async with`` context expression
+    (default: :func:`is_lock_expression`).
+    """
+
+    def __init__(
+        self,
+        mutations: Callable[[ast.stmt], Sequence[tuple[ast.AST, str]]],
+        is_guard: Callable[[ast.expr], bool] = is_lock_expression,
+    ) -> None:
+        self._mutations = mutations
+        self._is_guard = is_guard
+        self._spans: list[AtomicitySpan] = []
+        self._reported: set[tuple[int, int]] = set()
+
+    # -- public API -----------------------------------------------------------
+
+    def scan(self, function: ast.AsyncFunctionDef) -> list[AtomicitySpan]:
+        """All atomicity spans in one ``async def`` body."""
+        self._spans = []
+        self._reported = set()
+        self._walk_body(function.body, FlowState(), guard_depth=0)
+        return self._spans
+
+    # -- the walk -------------------------------------------------------------
+
+    def _walk_body(
+        self, body: Sequence[ast.stmt], state: FlowState, guard_depth: int
+    ) -> FlowState:
+        for stmt in body:
+            state = self._walk_stmt(stmt, state, guard_depth)
+        return state
+
+    def _walk_stmt(
+        self, stmt: ast.stmt, state: FlowState, guard_depth: int
+    ) -> FlowState:
+        if state.dead:
+            return state
+        if isinstance(stmt, ast.If):
+            branches = [
+                self._walk_body(stmt.body, state, guard_depth),
+                self._walk_body(stmt.orelse, state, guard_depth),
+            ]
+            return _join(branches)
+        if isinstance(stmt, ast.Match):
+            branches = [
+                self._walk_body(case.body, state, guard_depth)
+                for case in stmt.cases
+            ]
+            branches.append(state)  # no case may match
+            return _join(branches)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            state = self._emit_expr(stmt.iter, state, guard_depth)
+            if isinstance(stmt, ast.AsyncFor):
+                # The async-iteration protocol awaits before every
+                # iteration — entering the body is itself an await.
+                state = self._await(stmt, state)
+            after_body = self._walk_body(stmt.body, state, guard_depth)
+            joined = _join([state, after_body])  # zero or more iterations
+            return self._walk_body(stmt.orelse, joined, guard_depth)
+        if isinstance(stmt, ast.While):
+            state = self._emit_expr(stmt.test, state, guard_depth)
+            after_body = self._walk_body(stmt.body, state, guard_depth)
+            joined = _join([state, after_body])
+            return self._walk_body(stmt.orelse, joined, guard_depth)
+        if isinstance(stmt, ast.Try):
+            after_body = self._walk_body(stmt.body, state, guard_depth)
+            # A handler may be entered from any point of the body.
+            handler_entry = _join([state, after_body])
+            exits = [self._walk_body(stmt.orelse, after_body, guard_depth)]
+            for handler in stmt.handlers:
+                exits.append(
+                    self._walk_body(handler.body, handler_entry, guard_depth)
+                )
+            merged = _join(exits)
+            return self._walk_body(stmt.finalbody, merged, guard_depth)
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                state = self._emit_expr(item.context_expr, state, guard_depth)
+            return self._walk_body(stmt.body, state, guard_depth)
+        if isinstance(stmt, ast.AsyncWith):
+            guards = False
+            for item in stmt.items:
+                state = self._emit_expr(item.context_expr, state, guard_depth)
+                if self._is_guard(item.context_expr):
+                    guards = True
+            state = self._await(stmt, state)  # __aenter__
+            inner_depth = guard_depth + 1 if guards else guard_depth
+            state = self._walk_body(stmt.body, state, inner_depth)
+            return self._await(stmt, state)  # __aexit__
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                state = self._emit_expr(stmt.value, state, guard_depth)
+            return FlowState(dead=True)
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            # The path leaves this statement list; its pendings are
+            # joined back at the loop, which the once-through walk
+            # already approximates — treat as terminal here.
+            return FlowState(dead=True)
+        if isinstance(stmt, _NEW_SCOPE):
+            return state  # nested scope: runs on another frame
+        return self._emit_simple(stmt, state, guard_depth)
+
+    # -- events ---------------------------------------------------------------
+
+    def _emit_simple(
+        self, stmt: ast.stmt, state: FlowState, guard_depth: int
+    ) -> FlowState:
+        """One simple statement: its awaits (in lexical order, which
+        approximates evaluation order) then its mutations."""
+        for await_node in iter_awaits(stmt):
+            state = self._await(await_node, state)
+        for node, label in self._mutations(stmt):
+            state = self._mutate(node, label, state, guard_depth)
+        return state
+
+    def _emit_expr(
+        self, expr: ast.expr, state: FlowState, guard_depth: int
+    ) -> FlowState:
+        wrapper = ast.Expr(value=expr)
+        ast.copy_location(wrapper, expr)
+        return self._emit_simple(wrapper, state, guard_depth)
+
+    def _await(self, node: ast.AST, state: FlowState) -> FlowState:
+        return state.after_await(node)
+
+    def _mutate(
+        self, node: ast.AST, label: str, state: FlowState, guard_depth: int
+    ) -> FlowState:
+        if guard_depth > 0:
+            # Inside an async-with-lock region: the lock is exactly the
+            # sanctioned way to hold an invariant across awaits.
+            return state
+        key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+        for pending in state.pendings:
+            if pending.awaited and pending.await_node is not None:
+                if key not in self._reported:
+                    self._reported.add(key)
+                    self._spans.append(
+                        AtomicitySpan(
+                            first=pending.node,
+                            first_label=pending.label,
+                            await_node=pending.await_node,
+                            second=node,
+                            second_label=label,
+                        )
+                    )
+                break
+        return FlowState((Pending(node, label),))

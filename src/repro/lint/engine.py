@@ -50,6 +50,12 @@ _PRAGMA_FILE = re.compile(r"#\s*lint:\s*skip-file\b")
 #: can demand the missing reason instead of silently not suppressing.
 _PRAGMA_FULL_SCAN = re.compile(r"#\s*pragma:\s*full-scan\s+(\S.*)")
 _PRAGMA_FULL_SCAN_BARE = re.compile(r"#\s*pragma:\s*full-scan\s*(?:#|$)")
+#: The ``pragma: blocking <reason>`` comment — suppresses R9 only, and
+#: only with a non-empty reason: an event loop blocked without an
+#: explanation is exactly what R9 is for.  Same bare-form handling as
+#: ``full-scan`` so the audit can demand the missing reason.
+_PRAGMA_BLOCKING = re.compile(r"#\s*pragma:\s*blocking\s+(\S.*)")
+_PRAGMA_BLOCKING_BARE = re.compile(r"#\s*pragma:\s*blocking\s*(?:#|$)")
 
 
 @dataclass(frozen=True)
@@ -168,6 +174,8 @@ def _suppressed_rules(line: str) -> frozenset[str]:
         )
     if _PRAGMA_FULL_SCAN.search(line):
         suppressed.add("R7")
+    if _PRAGMA_BLOCKING.search(line):
+        suppressed.add("R9")
     return frozenset(suppressed)
 
 
@@ -293,21 +301,43 @@ def audit_pragmas(
                             "longer fires on this line; drop the pragma",
                         )
                     )
-        if "R7" in selected:
-            full_scan = _PRAGMA_FULL_SCAN.search(line)
-            if full_scan is not None and "R7" not in fired:
+        for rule_id, with_reason, bare_form, stale_msg, bare_msg in (
+            (
+                "R7",
+                _PRAGMA_FULL_SCAN,
+                _PRAGMA_FULL_SCAN_BARE,
+                "stale `pragma: full-scan`: this line no longer "
+                "scans a full item/node space; drop the pragma",
+                "`pragma: full-scan` without a reason does not "
+                "suppress; state why the scan is inherent "
+                "(`# pragma: full-scan <reason>`)",
+            ),
+            (
+                "R9",
+                _PRAGMA_BLOCKING,
+                _PRAGMA_BLOCKING_BARE,
+                "stale `pragma: blocking`: this line no longer "
+                "blocks or waits unboundedly; drop the pragma",
+                "`pragma: blocking` without a reason does not "
+                "suppress; state why blocking here is intended "
+                "(`# pragma: blocking <reason>`)",
+            ),
+        ):
+            if rule_id not in selected:
+                continue
+            match_with_reason = with_reason.search(line)
+            if match_with_reason is not None and rule_id not in fired:
                 findings.append(
                     Violation(
                         "PRAGMA",
                         scope.posix,
                         lineno,
-                        full_scan.start() + 1,
-                        "stale `pragma: full-scan`: this line no longer "
-                        "scans a full item/node space; drop the pragma",
+                        match_with_reason.start() + 1,
+                        stale_msg,
                     )
                 )
-            elif full_scan is None:
-                bare = _PRAGMA_FULL_SCAN_BARE.search(line)
+            elif match_with_reason is None:
+                bare = bare_form.search(line)
                 if bare is not None:
                     findings.append(
                         Violation(
@@ -315,9 +345,7 @@ def audit_pragmas(
                             scope.posix,
                             lineno,
                             bare.start() + 1,
-                            "`pragma: full-scan` without a reason does not "
-                            "suppress; state why the scan is inherent "
-                            "(`# pragma: full-scan <reason>`)",
+                            bare_msg,
                         )
                     )
     if skip_file and not raw:

@@ -20,6 +20,10 @@ from repro.lint.rules.r5_tautology import TautologicalInvariantRule
 from repro.lint.rules.r6_frozen_messages import FrozenMessageRule
 from repro.lint.rules.r7_complexity import ComplexityBudgetRule
 from repro.lint.rules.r8_registered_codecs import RegisteredCodecRule
+from repro.lint.rules.r9_blocking_async import BlockingAsyncRule
+from repro.lint.rules.r10_await_atomicity import AwaitAtomicityRule
+from repro.lint.rules.r11_tracked_tasks import TrackedTasksRule
+from repro.lint.rules.r12_cancellation import CancellationSafetyRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
@@ -33,6 +37,10 @@ ALL_RULES: tuple[LintRule, ...] = (
     FrozenMessageRule(),
     ComplexityBudgetRule(),
     RegisteredCodecRule(),
+    BlockingAsyncRule(),
+    AwaitAtomicityRule(),
+    TrackedTasksRule(),
+    CancellationSafetyRule(),
 )
 
 

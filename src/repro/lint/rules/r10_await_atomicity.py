@@ -1,0 +1,305 @@
+"""R10 — shared-state mutation sequences that span an await point.
+
+**Why.**  The paper's correctness argument (Theorem 2's log bounds,
+DBVV monotonicity, the DBVV-equals-IVV-column-sums equality) assumes
+each node applies its state transitions *atomically*: between
+transitions, the invariants hold.  In the simulator that is free —
+everything is synchronous.  In :mod:`repro.net` it is a discipline:
+an ``async def`` body is atomic only between awaits, so a sequence of
+mutations to shared node state with an ``await`` in the middle
+publishes a half-applied transition to every other coroutine on the
+loop — the peer service, concurrent client operations, the scheduler.
+That is a data race in exactly the sense the sanitizer checks for
+after the fact; R10 rejects the shape before it runs.
+
+**Rule.**  Inside ``async def`` bodies in ``src/repro/net``: two
+mutations of shared node state (the driven
+:class:`~repro.core.node.EpidemicNode`, link and codec tables, traffic
+counters, ``log_gaps`` — see ``SHARED_STATE_ATTRS``) separated by an
+await point must sit inside a region guarded by ``async with`` on a
+lock (the per-peer ``_link_locks`` in
+:class:`~repro.net.node.NetNode`).  Mutations inside a lock-guarded
+region are sanctioned — the lock is the mechanism that makes holding
+an invariant across awaits safe; a single mutation per await segment
+is atomic by construction and always fine.
+
+The analysis is the await-point control flow of
+:mod:`repro.lint.asyncflow`: branches are joined (a mutation in one
+``if`` arm is never paired with an await only the other arm runs),
+loops are walked once (cross-iteration sequences are one complete
+transaction per iteration), and calls count as mutations when they
+demonstrably touch shared state — a mutator method on a shared
+attribute, a bare function taking a shared attribute as argument
+(``respond(self.node, ...)``), or a method of the same class that the
+intra-class fixpoint shows mutates shared state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.lint.asyncflow import AtomicityScanner
+from repro.lint.engine import FileScope, LintRule, Violation
+
+__all__ = ["AwaitAtomicityRule", "SHARED_STATE_ATTRS"]
+
+#: ``self.<attr>`` names that hold shared node state: the driven
+#: protocol node, session-driver fields, link/codec tables, traffic
+#: counters, and the gap-tracking introduced by the frozen-DBVV fix.
+SHARED_STATE_ATTRS = frozenset(
+    {
+        "node",
+        "_driver",
+        "_links",
+        "_link_locks",
+        "census",
+        "frames_sent",
+        "bytes_sent",
+        "reconnects",
+        "sync_retries",
+        "sessions_served",
+        "log_gaps",
+        "conflicts",
+        "store",
+    }
+)
+
+#: Attribute-name suffixes that also mark shared state (codec caches,
+#: counter bundles) without enumerating every future field.
+_SHARED_SUFFIXES = ("_cache", "_caches", "_counters")
+
+#: Method names that mutate their receiver.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "increment",
+        "merge_from",
+        "advance",
+        "record",
+        "adopt",
+        "accept_propagation",
+        "send_propagation",
+        "intra_node_propagation",
+        "fetch_out_of_bound",
+        "apply_update",
+    }
+)
+
+#: Bare-name calls that only read their arguments; passing a shared
+#: attribute to these is not a mutation.
+_READONLY_BARE_CALLS = frozenset(
+    {
+        "len",
+        "sorted",
+        "list",
+        "tuple",
+        "set",
+        "frozenset",
+        "dict",
+        "enumerate",
+        "reversed",
+        "min",
+        "max",
+        "sum",
+        "any",
+        "all",
+        "repr",
+        "str",
+        "bytes",
+        "print",
+        "isinstance",
+        "id",
+        "iter",
+        "next",
+        "getattr",
+        "hasattr",
+        "type",
+        "format",
+        "zip",
+        "map",
+        "filter",
+    }
+)
+
+
+def _is_shared_attr(name: str) -> bool:
+    return name in SHARED_STATE_ATTRS or name.endswith(_SHARED_SUFFIXES)
+
+
+def _self_attr_name(expr: ast.expr) -> str | None:
+    """``self.<attr>`` (or a subscript of it) -> the attribute name."""
+    if isinstance(expr, ast.Subscript):
+        return _self_attr_name(expr.value)
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _shared_target(expr: ast.expr) -> str | None:
+    name = _self_attr_name(expr)
+    if name is not None and _is_shared_attr(name):
+        return name
+    return None
+
+
+class _MutationModel:
+    """Per-class mutation knowledge: which ``self.<method>`` calls are
+    known to mutate shared state, computed by a fixpoint over the
+    class's own call graph (one file deep — the linter never imports)."""
+
+    def __init__(self, mutating_methods: frozenset[str]) -> None:
+        self.mutating_methods = mutating_methods
+
+    def mutations(self, stmt: ast.stmt) -> Sequence[tuple[ast.AST, str]]:
+        """Shared-state mutations performed by one simple statement,
+        in (approximate) evaluation order."""
+        events: list[tuple[ast.AST, str]] = []
+        for node in _walk_in_scope(stmt):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for element in _flatten_target(target):
+                        name = _shared_target(element)
+                        if name is not None:
+                            events.append((node, f"self.{name}"))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    name = _shared_target(target)
+                    if name is not None:
+                        events.append((node, f"del self.{name}"))
+            elif isinstance(node, ast.Call):
+                event = self._call_mutation(node)
+                if event is not None:
+                    events.append(event)
+        return events
+
+    def _call_mutation(self, node: ast.Call) -> tuple[ast.AST, str] | None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = _shared_target(func.value)
+            if receiver is not None and func.attr in _MUTATOR_METHODS:
+                return (node, f"self.{receiver}.{func.attr}()")
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr in self.mutating_methods
+            ):
+                return (node, f"self.{func.attr}()")
+        elif isinstance(func, ast.Name):
+            if func.id in _READONLY_BARE_CALLS:
+                return None
+            for arg in node.args:
+                name = _shared_target(arg)
+                if name is not None:
+                    return (node, f"{func.id}(self.{name}, ...)")
+        return None
+
+
+def _flatten_target(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_target(element)
+    else:
+        yield target
+
+
+def _walk_in_scope(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Walk one statement without descending into nested scopes."""
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        current = stack.pop()
+        if current is not stmt and isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _direct_mutators(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+    known: frozenset[str],
+) -> bool:
+    """Does ``function`` mutate shared state directly, or call a
+    ``self`` method already known to?"""
+    model = _MutationModel(known)
+    for node in ast.walk(function):
+        if isinstance(node, ast.stmt) and model.mutations(node):
+            return True
+    return False
+
+
+def _class_mutating_methods(klass: ast.ClassDef) -> frozenset[str]:
+    """Fixpoint: method names of ``klass`` that (transitively through
+    ``self`` calls within the class) mutate shared state."""
+    methods = [
+        node
+        for node in klass.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    mutating: frozenset[str] = frozenset()
+    while True:
+        grown = frozenset(
+            method.name
+            for method in methods
+            if _direct_mutators(method, mutating)
+        )
+        if grown == mutating:
+            return mutating
+        mutating = grown
+
+
+class AwaitAtomicityRule(LintRule):
+    rule_id = "R10"
+    name = "await-atomicity"
+    summary = (
+        "shared node-state mutation sequences may not span an await "
+        "outside an async-with lock region"
+    )
+
+    def applies_to(self, scope: FileScope) -> bool:
+        return scope.in_subpackage("net")
+
+    def check(self, tree: ast.Module, scope: FileScope) -> Iterator[Violation]:
+        for klass in ast.walk(tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            model = _MutationModel(_class_mutating_methods(klass))
+            scanner = AtomicityScanner(model.mutations)
+            for method in klass.body:
+                if not isinstance(method, ast.AsyncFunctionDef):
+                    continue
+                for span in scanner.scan(method):
+                    first_line = getattr(span.first, "lineno", 0)
+                    await_line = getattr(span.await_node, "lineno", 0)
+                    yield self.violation(
+                        scope,
+                        span.second,
+                        f"`{method.name}` mutates {span.second_label} after "
+                        f"mutating {span.first_label} (line {first_line}) "
+                        f"with an await point between (line {await_line}); "
+                        "the half-applied transition is visible to every "
+                        "other coroutine — hold the per-peer lock "
+                        "(`async with self._link_locks[...]`) across the "
+                        "sequence, or finish the mutations before awaiting",
+                    )

@@ -1,0 +1,70 @@
+"""R11 — fire-and-forget tasks: untracked ``create_task``/``ensure_future``.
+
+**Why.**  A task created and dropped is invisible twice over.  Its
+exception vanishes — asyncio logs "Task exception was never retrieved"
+at garbage-collection time, long after the causal context is gone, and
+only if the task object is collected at all.  And its *reference*
+vanishes: the event loop keeps only a weak reference to running tasks,
+so a fire-and-forget task can be garbage-collected mid-flight and
+simply never finish.  The node's original shutdown path did exactly
+this — ``asyncio.ensure_future(self.stop())`` at the bottom of the
+client API — which meant a failing ``stop()`` would kill the
+acknowledged shutdown *silently* and leave the process serving.
+
+**Rule.**  In ``src/repro/net``, every task must be spawned through
+:func:`repro.net.tasks.spawn` (or a :class:`~repro.net.tasks.
+TaskTracker`), which retains the task, logs its exception with
+context, and lets shutdown await whatever is still in flight.  Direct
+calls to ``asyncio.create_task`` / ``asyncio.ensure_future`` /
+``loop.create_task`` are flagged everywhere except inside
+``repro/net/tasks.py`` itself — the tracked primitive has to call the
+raw one somewhere, and that one place is it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileScope, LintRule, Violation
+
+__all__ = ["TrackedTasksRule"]
+
+#: Spawning entry points, by attribute or bare (from-import) name.
+_SPAWN_NAMES = frozenset({"create_task", "ensure_future"})
+
+
+class TrackedTasksRule(LintRule):
+    rule_id = "R11"
+    name = "tracked-tasks"
+    summary = (
+        "tasks are spawned via repro.net.tasks.spawn (retained, "
+        "exception-logged), never raw create_task/ensure_future"
+    )
+
+    def applies_to(self, scope: FileScope) -> bool:
+        if not scope.in_subpackage("net"):
+            return False
+        # The tracked primitive itself wraps the raw call.
+        return scope.package != ("repro", "net", "tasks.py")
+
+    def check(self, tree: ast.Module, scope: FileScope) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name: str | None = None
+            if isinstance(func, ast.Attribute) and func.attr in _SPAWN_NAMES:
+                name = func.attr
+            elif isinstance(func, ast.Name) and func.id in _SPAWN_NAMES:
+                name = func.id
+            if name is None:
+                continue
+            yield self.violation(
+                scope,
+                node,
+                f"raw `{name}` drops the task: its exception is never "
+                "retrieved and the loop holds only a weak reference; "
+                "spawn through repro.net.tasks.spawn() so the task is "
+                "retained, exception-logged, and awaited on shutdown",
+            )

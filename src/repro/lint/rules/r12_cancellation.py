@@ -1,0 +1,114 @@
+"""R12 — cancellation-unsafe and type-erasing exception handlers.
+
+**Why.**  Cancellation is asyncio's only composable teardown
+mechanism: ``stop()`` cancels the scheduler, the task tracker cancels
+stragglers, and every ``wait_for`` deadline is a cancellation.  An
+``except`` clause that catches ``asyncio.CancelledError`` (explicitly,
+via ``BaseException``, or bare) and does not re-raise turns a
+cancelled coroutine into one that *keeps running* — the cancel
+appears to succeed while the task loops on, holding connections and
+locks.  Broad ``except Exception`` on the session path is the milder
+relative: it erases the typed :mod:`repro.errors` taxonomy the retry
+and parity machinery dispatches on, so a codec bug and a dead peer
+become indistinguishable.
+
+**Rule.**  In ``src/repro/net``:
+
+* an ``except`` clause catching ``CancelledError``, ``BaseException``,
+  or everything (bare ``except:``) must re-raise — its body contains a
+  ``raise``;
+* an ``except Exception`` handler must convert: its body contains a
+  ``raise`` (bare re-raise, or a typed :mod:`repro.errors` exception).
+
+Handlers for specific typed exceptions (``ConnectionClosed``,
+``WireFormatError``, ``OSError``...) are the sanctioned shape and are
+never flagged.  The one place that legitimately swallows a
+``CancelledError`` — awaiting a task *we just cancelled* in
+``repro.net.tasks`` — re-raises when the cancellation was not its own,
+so it satisfies the rule rather than suppressing it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileScope, LintRule, Violation
+
+__all__ = ["CancellationSafetyRule"]
+
+#: Exception names whose handlers must re-raise unconditionally.
+_MUST_RERAISE = frozenset({"CancelledError", "BaseException"})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str] | None:
+    """Exception names a handler catches; ``None`` for bare ``except:``."""
+    if handler.type is None:
+        return None
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: list[str] = []
+    for node in types:
+        if isinstance(node, ast.Attribute):
+            names.append(node.attr)
+        elif isinstance(node, ast.Name):
+            names.append(node.id)
+    return names
+
+
+def _body_raises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+class CancellationSafetyRule(LintRule):
+    rule_id = "R12"
+    name = "cancellation-safety"
+    summary = (
+        "except clauses must not swallow CancelledError, and broad "
+        "except Exception must convert to typed repro.errors"
+    )
+
+    def applies_to(self, scope: FileScope) -> bool:
+        return scope.in_subpackage("net")
+
+    def check(self, tree: ast.Module, scope: FileScope) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _body_raises(node):
+                continue
+            names = _caught_names(node)
+            if names is None:
+                yield self.violation(
+                    scope,
+                    node,
+                    "bare `except:` swallows asyncio.CancelledError — a "
+                    "cancelled coroutine keeps running; catch the typed "
+                    "errors, or re-raise",
+                )
+                continue
+            broad = [name for name in names if name in _MUST_RERAISE]
+            if broad:
+                yield self.violation(
+                    scope,
+                    node,
+                    f"`except {broad[0]}` without a re-raise swallows "
+                    "cancellation — the task keeps running after being "
+                    "cancelled; re-raise, or use "
+                    "repro.net.tasks.cancel_and_wait for a task you "
+                    "cancelled yourself",
+                )
+            elif "Exception" in names:
+                yield self.violation(
+                    scope,
+                    node,
+                    "broad `except Exception` on the session path erases "
+                    "the typed error taxonomy; catch the specific "
+                    "repro.errors types, or convert by raising one",
+                )

@@ -14,6 +14,8 @@ stays in :mod:`repro.core`, shared with the simulator):
   connection preamble;
 * :mod:`~repro.net.node` — the asyncio replica process (peer service,
   outbound sessions, client API, anti-entropy scheduler);
+* :mod:`~repro.net.tasks` — tracked task spawning and cancellation
+  (the R11/R12 concurrency discipline primitives);
 * :mod:`~repro.net.client` — blocking client for the JSON API;
 * :mod:`~repro.net.harness` — spawn/reap localhost clusters and run
   differential parity against ``ClusterSimulation(wire=True)``;
@@ -25,12 +27,16 @@ from __future__ import annotations
 from repro.net.client import NodeClient
 from repro.net.config import NodeConfig, PeerAddress, parse_peer, parse_peers
 from repro.net.node import NetNode
+from repro.net.tasks import TaskTracker, cancel_and_wait, spawn
 
 __all__ = [
     "NetNode",
     "NodeClient",
     "NodeConfig",
     "PeerAddress",
+    "TaskTracker",
+    "cancel_and_wait",
     "parse_peer",
     "parse_peers",
+    "spawn",
 ]

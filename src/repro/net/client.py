@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import socket
+from typing import Any
 
 from repro.errors import NetworkSessionError, WireFormatError
 
@@ -65,12 +66,12 @@ class NodeClient:
             shift += 7
         raise WireFormatError("unterminated varint from node")
 
-    def request(self, payload: dict) -> dict:
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
         """One round trip; raises on transport failure or error reply."""
         blob = json.dumps(payload).encode("utf-8")
         self._sock.sendall(_encode_uvarint(len(blob)) + blob)
         length = self._read_uvarint()
-        response = json.loads(self._read_exact(length))
+        response: dict[str, Any] = json.loads(self._read_exact(length))
         if not response.get("ok"):
             raise NetworkSessionError(
                 f"node at {self.host}:{self.port} rejected "
@@ -99,11 +100,11 @@ class NodeClient:
     def get(self, item: str) -> bytes:
         return bytes.fromhex(self.request({"op": "get", "item": item})["value"])
 
-    def sync(self, peer: int) -> dict:
+    def sync(self, peer: int) -> dict[str, Any]:
         """Run one pull session against ``peer`` on the node's behalf."""
         return self.request({"op": "sync", "peer": peer})
 
-    def status(self) -> dict:
+    def status(self) -> dict[str, Any]:
         return self.request({"op": "status"})
 
     def shutdown(self) -> None:

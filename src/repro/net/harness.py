@@ -34,6 +34,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, TextIO
 
 from repro.cluster.simulation import ClusterSimulation
 from repro.core.protocol import DBVVProtocolNode
@@ -53,7 +54,7 @@ __all__ = [
 
 #: One replayable event: ``("put", node, item, value)`` or
 #: ``("sync", initiator, peer)``.
-ScriptEvent = tuple
+ScriptEvent = tuple[Any, ...]
 
 
 def record_script(
@@ -150,15 +151,15 @@ class LocalCluster:
         self.seed = seed
         self.anti_entropy_period = anti_entropy_period
         self.log_dir = Path(log_dir)
-        self.processes: list[subprocess.Popen] = []
+        self.processes: list[subprocess.Popen[bytes]] = []
         self.clients: list[NodeClient | None] = [None] * n_nodes
         self.peer_ports: list[int] = []
         self.client_ports: list[int] = []
-        self._log_files: list = []
+        self._log_files: list[TextIO] = []
 
     # -- lifecycle -----------------------------------------------------------
 
-    def start(self, ready_attempts: int = 400) -> None:
+    def start(self, ready_timeout: float = 20.0) -> None:
         """Spawn all processes and block until every node answers ping."""
         self.log_dir.mkdir(parents=True, exist_ok=True)
         ports = _free_ports(2 * self.n_nodes)
@@ -205,34 +206,60 @@ class LocalCluster:
                         env=env,
                     )
                 )
-            self._await_ready(ready_attempts)
+            self._await_ready(ready_timeout)
         except BaseException:
             self.stop()
             raise
 
-    def _await_ready(self, attempts: int) -> None:
+    def _await_ready(self, timeout: float) -> None:
+        """Block until every node printed ``READY`` and answers a ping.
+
+        A node prints its ``READY`` line only after both listeners are
+        bound, so tailing the log is an edge-triggered readiness signal
+        — no connect-and-pray attempt counting.  One wall-clock deadline
+        covers the whole cluster; this is subprocess startup, outside
+        the deterministic protocol core, hence the R3 skips.
+        """
+        deadline = time.monotonic() + timeout  # lint: skip=R3
         for node_id in range(self.n_nodes):
-            last_error: Exception | None = None
-            for _ in range(attempts):
-                process = self.processes[node_id]
-                if process.poll() is not None:
-                    raise NetworkSessionError(
-                        f"node {node_id} exited with status "
-                        f"{process.returncode} before becoming ready "
-                        f"(see {self.log_dir / f'node-{node_id}.log'})"
-                    )
-                try:
-                    self.client(node_id).ping()
-                    last_error = None
-                    break
-                except OSError as exc:
-                    self.clients[node_id] = None
-                    last_error = exc
-                    time.sleep(0.05)
-            if last_error is not None:
+            self._await_ready_line(node_id, deadline)
+            try:
+                self.client(node_id).ping()
+            except OSError as exc:
+                self.clients[node_id] = None
                 raise NetworkSessionError(
-                    f"node {node_id} never became ready: {last_error}"
+                    f"node {node_id} printed READY but does not answer "
+                    f"its client port: {exc}"
+                ) from None
+
+    def _await_ready_line(self, node_id: int, deadline: float) -> None:
+        """Watch one node's log for its ``READY`` line, or die trying."""
+        log_path = self.log_dir / f"node-{node_id}.log"
+        marker = f"READY node={node_id} "
+        pause = 0.005
+        while True:
+            process = self.processes[node_id]
+            exited = process.poll() is not None
+            # Read *after* the liveness check: a node that printed READY
+            # and then crashed still counts as having become ready once.
+            if log_path.exists() and marker in log_path.read_text(
+                errors="replace"
+            ):
+                return
+            if exited:
+                raise NetworkSessionError(
+                    f"node {node_id} exited with status "
+                    f"{process.returncode} before becoming ready "
+                    f"(see {log_path})"
                 )
+            remaining = deadline - time.monotonic()  # lint: skip=R3
+            if remaining <= 0:
+                raise NetworkSessionError(
+                    f"node {node_id} never printed READY within the "
+                    f"startup deadline (see {log_path})"
+                )
+            time.sleep(min(pause, remaining))
+            pause = min(pause * 2, 0.1)
 
     def client(self, node_id: int) -> NodeClient:
         """The (cached) client connection to ``node_id``."""

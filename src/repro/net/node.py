@@ -38,6 +38,7 @@ import asyncio
 import json
 import logging
 import random
+from typing import Any
 
 from repro.cluster.scheduler import PeerSelector, RandomSelector
 from repro.core.node import EpidemicNode
@@ -58,6 +59,7 @@ from repro.net.framing import (
     write_blob,
     write_frame,
 )
+from repro.net.tasks import TaskTracker, cancel_and_wait
 from repro.substrate.operations import Put
 from repro.wire import WireCodec
 
@@ -111,7 +113,8 @@ class NetNode:
         self.round_no = 0
         self._peer_server: asyncio.base_events.Server | None = None
         self._client_server: asyncio.base_events.Server | None = None
-        self._anti_entropy_task: asyncio.Task[None] | None = None
+        self._anti_entropy_task: asyncio.Task[object] | None = None
+        self._tasks = TaskTracker(name=f"node{config.node_id}")
         self._stopped = asyncio.Event()
         self.peer_port = config.peer_port
         self.client_port = config.client_port
@@ -130,8 +133,8 @@ class NetNode:
         )
         self.client_port = self._client_server.sockets[0].getsockname()[1]
         if self.config.anti_entropy_period > 0:
-            self._anti_entropy_task = asyncio.create_task(
-                self._anti_entropy_loop()
+            self._anti_entropy_task = self._tasks.spawn(
+                self._anti_entropy_loop(), name="anti-entropy"
             )
         logger.info(
             "node %d ready: peer port %d, client port %d",
@@ -142,16 +145,14 @@ class NetNode:
 
     async def run_until_shutdown(self) -> None:
         """Serve until a client sends ``shutdown`` (or :meth:`stop`)."""
-        await self._stopped.wait()
+        # The process's whole purpose is to serve until told otherwise;
+        # an unbounded wait on the stop event is the intent, not a hang.
+        await self._stopped.wait()  # pragma: blocking lifetime wait for the shutdown signal
 
     async def stop(self) -> None:
         """Tear down listeners, outbound links, and the scheduler."""
         if self._anti_entropy_task is not None:
-            self._anti_entropy_task.cancel()
-            try:
-                await self._anti_entropy_task
-            except asyncio.CancelledError:
-                pass
+            await cancel_and_wait(self._anti_entropy_task)
             self._anti_entropy_task = None
         for server in (self._peer_server, self._client_server):
             if server is not None:
@@ -159,6 +160,7 @@ class NetNode:
                 await server.wait_closed()
         for peer_id in sorted(self._links):
             self._drop_link(peer_id)
+        await self._tasks.aclose()
         self._stopped.set()
 
     # -- peer service (the SendPropagation side) ------------------------------
@@ -194,8 +196,12 @@ class NetNode:
                 answer = respond(self.node, message)
                 out = codec.encode(self.node_id, peer_id, answer)
                 self._count_frame(answer, out)
-                await write_frame(writer, out)
+                # The served-session transition is complete *before* the
+                # answer write awaits (R10): a status snapshot taken by a
+                # concurrent client coroutine never sees the counted
+                # frame without the counted session.
                 self.sessions_served += 1
+                await write_frame(writer, out)
         except ConnectionClosed:
             logger.info("peer %d disconnected", peer_id)
         except WireFormatError as exc:
@@ -358,7 +364,9 @@ class NetNode:
         finally:
             writer.close()
 
-    async def _handle_client_op(self, request: dict) -> dict:
+    async def _handle_client_op(
+        self, request: dict[str, Any]
+    ) -> dict[str, Any]:
         op = request.get("op")
         if op == "ping":
             return {"ok": True, "node": self.node_id}
@@ -380,14 +388,16 @@ class NetNode:
             return self._status()
         if op == "shutdown":
             # Reply first, then unwind: the caller's socket sees the
-            # acknowledgement before the listener goes away.
+            # acknowledgement before the listener goes away.  The stop
+            # task is tracked (R11) so a failing teardown is logged
+            # instead of vanishing with the weakly-referenced task.
             asyncio.get_running_loop().call_soon(
-                lambda: asyncio.ensure_future(self.stop())
+                lambda: self._tasks.spawn(self.stop(), name="stop")
             )
             return {"ok": True, "bye": True}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
-    def _status(self) -> dict:
+    def _status(self) -> dict[str, Any]:
         """Converged-state snapshot for the parity harness: regular
         store contents, per-item IVVs, the DBVV, and traffic totals."""
         store: dict[str, str] = {}

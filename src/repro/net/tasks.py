@@ -1,0 +1,100 @@
+"""Tracked task spawning for the networked cluster.
+
+asyncio's raw ``create_task``/``ensure_future`` are fire-and-forget
+hazards twice over: the event loop holds only a *weak* reference to a
+running task (a dropped task object can be garbage-collected
+mid-flight and silently never finish), and an exception raised inside
+one is only reported at collection time, long after the causal
+context is gone.  Every task in :mod:`repro.net` therefore goes
+through a :class:`TaskTracker` (rule R11): the tracker retains a
+strong reference until the task finishes, logs any exception with the
+task's name the moment it surfaces, and lets shutdown cancel and
+await whatever is still in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Coroutine
+
+__all__ = ["TaskTracker", "cancel_and_wait", "spawn"]
+
+logger = logging.getLogger("repro.net")
+
+
+class TaskTracker:
+    """Owns the strong references to in-flight tasks.
+
+    ``spawn`` creates a task, retains it, and attaches a done-callback
+    that drops the reference and logs any exception.  ``aclose``
+    cancels every task still pending (except the caller's own) and
+    awaits them, so shutdown never strands a coroutine on the loop.
+    """
+
+    def __init__(self, name: str = "tracker") -> None:
+        self.name = name
+        self._tasks: set[asyncio.Task[Any]] = set()
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def spawn(
+        self, coro: Coroutine[Any, Any, Any], *, name: str
+    ) -> asyncio.Task[Any]:
+        """Create, retain, and exception-log a task running ``coro``."""
+        task = asyncio.create_task(coro, name=f"{self.name}:{name}")
+        self._tasks.add(task)
+        task.add_done_callback(self._reap)
+        return task
+
+    def _reap(self, task: asyncio.Task[Any]) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            logger.error(
+                "task %s failed: %r", task.get_name(), exc, exc_info=exc
+            )
+
+    async def aclose(self) -> None:
+        """Cancel and await every tracked task still in flight.
+
+        The caller may itself be a tracked task (the shutdown op spawns
+        ``stop()`` through the tracker), so the current task is exempt
+        from cancellation — it is the one doing the closing.
+        """
+        current = asyncio.current_task()
+        pending = [t for t in self._tasks if t is not current and not t.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+
+#: Module-level tracker for callers without a natural owner object.
+_DEFAULT_TRACKER = TaskTracker(name="repro.net")
+
+
+def spawn(
+    coro: Coroutine[Any, Any, Any], *, name: str
+) -> asyncio.Task[Any]:
+    """Spawn ``coro`` on the module-level tracker (see R11)."""
+    return _DEFAULT_TRACKER.spawn(coro, name=name)
+
+
+async def cancel_and_wait(task: asyncio.Task[Any]) -> None:
+    """Cancel ``task`` and wait for it to unwind.
+
+    Swallows the ``CancelledError`` only when it is the one we just
+    injected; a cancellation of the *waiting* coroutine (the task
+    finished by other means) propagates, which is what keeps this the
+    one sanctioned consumer of ``CancelledError`` under rule R12.
+    """
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:
+        if not task.cancelled():
+            raise

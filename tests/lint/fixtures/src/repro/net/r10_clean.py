@@ -1,0 +1,33 @@
+"""R10 clean fixture: transitions finish before awaiting, or sit
+inside an ``async with`` lock region."""
+
+import asyncio
+
+
+class DisciplinedReplica:
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self._links: dict[int, object] = {}
+        self._link_locks: dict[int, asyncio.Lock] = {}
+
+    async def publish(self, frame: bytes, writer) -> None:
+        # Both counters advance in the same atomic segment.
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+        await writer.drain()
+
+    async def rebuild_link(self, peer_id: int, link: object) -> None:
+        lock = self._link_locks.setdefault(peer_id, asyncio.Lock())
+        async with lock:
+            self._links.pop(peer_id, None)
+            await asyncio.sleep(0)
+            self._links[peer_id] = link
+
+    async def branchy(self, frame: bytes, writer) -> None:
+        # A mutation in one arm never pairs with the other arm's await.
+        if frame:
+            self.frames_sent += 1
+        else:
+            await writer.drain()
+        return None

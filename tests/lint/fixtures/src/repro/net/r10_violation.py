@@ -1,0 +1,26 @@
+"""R10 fixture: shared-state transitions split by an await point.
+
+Every method mutates shared node state twice with an await between the
+mutations and no ``async with`` lock around them — the half-applied
+transition is visible to every other coroutine on the loop.
+"""
+
+import asyncio
+
+
+class RacyReplica:
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self._links: dict[int, object] = {}
+        self._link_locks: dict[int, asyncio.Lock] = {}
+
+    async def publish(self, frame: bytes, writer) -> None:
+        self.frames_sent += 1
+        await writer.drain()
+        self.bytes_sent += len(frame)  # counters disagree while suspended
+
+    async def rebuild_link(self, peer_id: int, link: object) -> None:
+        self._links.pop(peer_id, None)
+        await asyncio.sleep(0)
+        self._links[peer_id] = link  # link table empty across the await

@@ -1,0 +1,20 @@
+"""R11 clean fixture: every task goes through the tracked spawner."""
+
+import asyncio
+
+from repro.net.tasks import TaskTracker, spawn
+
+
+class Tracked:
+    def __init__(self) -> None:
+        self._tracker = TaskTracker(name="fixture")
+
+    async def kick(self) -> None:
+        self._tracker.spawn(self._work(), name="work")
+        spawn(self._cleanup(), name="cleanup")
+
+    async def _work(self) -> None:
+        await asyncio.sleep(0)
+
+    async def _cleanup(self) -> None:
+        await asyncio.sleep(0)

@@ -1,0 +1,15 @@
+"""R11 fixture: fire-and-forget tasks via raw asyncio spawns."""
+
+import asyncio
+
+
+class FireAndForget:
+    async def kick(self) -> None:
+        asyncio.create_task(self._work())  # dropped: weakly referenced
+        asyncio.ensure_future(self._cleanup())  # exception never retrieved
+
+    async def _work(self) -> None:
+        await asyncio.sleep(0)
+
+    async def _cleanup(self) -> None:
+        await asyncio.sleep(0)

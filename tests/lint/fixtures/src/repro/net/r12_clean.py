@@ -1,0 +1,28 @@
+"""R12 clean fixture: cancellation re-raised, broad catches converted."""
+
+import asyncio
+
+from repro.errors import NetworkSessionError, WireFormatError
+
+
+async def cancel_and_reap(task: asyncio.Task) -> None:
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:
+        if not task.cancelled():
+            raise  # the cancellation was not ours; pass it on
+
+
+async def serve(handler) -> None:
+    try:
+        await handler()
+    except Exception as exc:
+        raise NetworkSessionError(f"session failed: {exc}") from exc
+
+
+async def typed_handlers(handler) -> None:
+    try:
+        await handler()
+    except (WireFormatError, OSError):
+        return None

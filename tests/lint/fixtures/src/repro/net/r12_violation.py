@@ -1,0 +1,25 @@
+"""R12 fixture: handlers that swallow cancellation or erase types."""
+
+import asyncio
+
+
+async def poll_forever(queue) -> None:
+    while True:
+        try:
+            await queue.get()
+        except asyncio.CancelledError:  # cancelled task keeps running
+            pass
+
+
+async def serve(handler) -> None:
+    try:
+        await handler()
+    except Exception:  # erases the typed repro.errors taxonomy
+        pass
+
+
+async def drain(writer) -> None:
+    try:
+        await writer.drain()
+    except:  # noqa: E722 - the bare form of the same swallow
+        pass

@@ -1,0 +1,17 @@
+"""R9 clean fixture: async-native waiting, bounded or annotated."""
+
+import asyncio
+
+
+class PatientReplica:
+    async def nap(self) -> None:
+        await asyncio.sleep(0.5)
+
+    async def dial(self, host: str, port: int) -> None:
+        await asyncio.open_connection(host, port)
+
+    async def wait_bounded(self, event: asyncio.Event) -> None:
+        await asyncio.wait_for(event.wait(), timeout=5.0)
+
+    async def wait_for_shutdown(self, stopped: asyncio.Event) -> None:
+        await stopped.wait()  # pragma: blocking serving until shutdown is the job

@@ -1,0 +1,24 @@
+"""R9 fixture: blocking calls and unbounded waits inside ``async def``."""
+
+import asyncio
+import socket
+import subprocess
+import time
+
+
+class SlowReplica:
+    async def nap(self) -> None:
+        time.sleep(0.5)  # blocks the whole event loop
+
+    async def dial(self, host: str, port: int) -> None:
+        socket.create_connection((host, port))  # sync connect
+
+    async def shell(self) -> None:
+        subprocess.run(["true"])  # sync process spawn
+
+    async def read_config(self, path: str) -> bytes:
+        with open(path, "rb") as fh:  # sync file I/O
+            return fh.read()
+
+    async def wait_forever(self, event: asyncio.Event) -> None:
+        await event.wait()  # unbounded wait, no deadline

@@ -25,6 +25,10 @@ VIOLATION_FIXTURES = {
     "R6": (FIXTURES / "src/repro/cluster/r6_violation.py", 3),
     "R7": (FIXTURES / "src/repro/baselines/r7_violation.py", 4),
     "R8": (FIXTURES / "src/repro/core/r8_violation.py", 1),
+    "R9": (FIXTURES / "src/repro/net/r9_violation.py", 5),
+    "R10": (FIXTURES / "src/repro/net/r10_violation.py", 2),
+    "R11": (FIXTURES / "src/repro/net/r11_violation.py", 2),
+    "R12": (FIXTURES / "src/repro/net/r12_violation.py", 3),
 }
 
 CLEAN_FIXTURES = {
@@ -36,6 +40,10 @@ CLEAN_FIXTURES = {
     "R6": FIXTURES / "src/repro/cluster/r6_clean.py",
     "R7": FIXTURES / "src/repro/baselines/r7_clean.py",
     "R8": FIXTURES / "src/repro/core/r8_clean.py",
+    "R9": FIXTURES / "src/repro/net/r9_clean.py",
+    "R10": FIXTURES / "src/repro/net/r10_clean.py",
+    "R11": FIXTURES / "src/repro/net/r11_clean.py",
+    "R12": FIXTURES / "src/repro/net/r12_clean.py",
 }
 
 
@@ -204,3 +212,165 @@ class TestRuleScoping:
         real = make_scope("src/repro/core/node.py")
         assert fixture.package is not None
         assert fixture.package[:2] == real.package[:2] == ("repro", "core")
+
+    def test_async_rules_scoped_to_net(self):
+        # The same blocking/fire-and-forget shapes outside repro.net are
+        # not the event loop's problem and must not fire.
+        source = (
+            "import asyncio, time\n"
+            "async def f():\n"
+            "    time.sleep(1)\n"
+            "    asyncio.create_task(f())\n"
+            "    try:\n"
+            "        await asyncio.sleep(0)\n"
+            "    except asyncio.CancelledError:\n"
+            "        pass\n"
+        )
+        findings = lint_source(source, "src/repro/cluster/driver.py", ALL_RULES)
+        async_ids = {"R9", "R10", "R11", "R12"}
+        assert not async_ids & {v.rule_id for v in findings}
+        findings = lint_source(source, "src/repro/net/driver.py", ALL_RULES)
+        assert async_ids - {"R10"} <= {v.rule_id for v in findings}
+
+
+class TestAsyncConcurrencyAcceptance:
+    """The issue's acceptance scenarios for R9-R12 against real shapes."""
+
+    ROOT = Path(__file__).resolve().parents[2]
+
+    def test_real_net_node_is_concurrency_clean(self):
+        # The lock-guarded session path in repro.net.node must be
+        # accepted as-is: the per-peer lock is the sanctioned guard.
+        findings = lint_file(self.ROOT / "src/repro/net/node.py", ALL_RULES)
+        assert findings == [], [v.render() for v in findings]
+
+    def test_seeded_unlocked_cross_await_mutation_is_flagged(self):
+        # sync_with with its per-peer lock removed — the shape R10
+        # exists to reject.
+        source = (
+            "class NetNode:\n"
+            "    async def sync_with(self, peer_id):\n"
+            "        link = await self._ensure_link(peer_id)\n"
+            "        self.frames_sent += 1\n"
+            "        await write_frame(link.writer, b'x')\n"
+            "        self.sessions_served += 1\n"
+            "    async def _ensure_link(self, peer_id):\n"
+            "        link = self._links.get(peer_id)\n"
+            "        return link\n"
+        )
+        findings = lint_source(source, "src/repro/net/node.py", ALL_RULES)
+        assert any(v.rule_id == "R10" for v in findings)
+
+    def test_the_lock_guarded_version_passes(self):
+        source = (
+            "class NetNode:\n"
+            "    async def sync_with(self, peer_id):\n"
+            "        lock = self._link_locks.setdefault(peer_id, Lock())\n"
+            "        async with lock:\n"
+            "            link = await self._ensure_link(peer_id)\n"
+            "            self.frames_sent += 1\n"
+            "            await write_frame(link.writer, b'x')\n"
+            "            self.sessions_served += 1\n"
+            "    async def _ensure_link(self, peer_id):\n"
+            "        link = self._links.get(peer_id)\n"
+            "        return link\n"
+        )
+        findings = lint_source(source, "src/repro/net/node.py", ALL_RULES)
+        assert not any(v.rule_id == "R10" for v in findings)
+
+    def test_fire_and_forget_shutdown_shape_is_flagged(self):
+        # The original fire-and-forget `ensure_future(self.stop())`.
+        source = (
+            "import asyncio\n"
+            "class NetNode:\n"
+            "    async def _handle_client_op(self, request):\n"
+            "        asyncio.get_running_loop().call_soon(\n"
+            "            lambda: asyncio.ensure_future(self.stop())\n"
+            "        )\n"
+            "        return {'ok': True}\n"
+            "    async def stop(self):\n"
+            "        return None\n"
+        )
+        findings = lint_source(source, "src/repro/net/node.py", ALL_RULES)
+        assert any(v.rule_id == "R11" for v in findings)
+
+    def test_swallowed_cancellation_shape_is_flagged(self):
+        # The original stop(): cancel, await, swallow CancelledError.
+        source = (
+            "import asyncio\n"
+            "class NetNode:\n"
+            "    async def stop(self, task):\n"
+            "        task.cancel()\n"
+            "        try:\n"
+            "            await task\n"
+            "        except asyncio.CancelledError:\n"
+            "            pass\n"
+        )
+        findings = lint_source(source, "src/repro/net/node.py", ALL_RULES)
+        assert any(v.rule_id == "R12" for v in findings)
+
+
+class TestBlockingPragma:
+    """`# pragma: blocking <reason>` suppresses R9 only, reason required."""
+
+    def test_pragma_with_reason_suppresses(self):
+        source = (
+            "async def serve(stopped):\n"
+            "    await stopped.wait()  # pragma: blocking lifetime wait\n"
+        )
+        findings = lint_source(source, "src/repro/net/node.py", ALL_RULES)
+        assert not any(v.rule_id == "R9" for v in findings)
+
+    def test_bare_pragma_does_not_suppress(self):
+        source = (
+            "async def serve(stopped):\n"
+            "    await stopped.wait()  # pragma: blocking\n"
+        )
+        findings = lint_source(source, "src/repro/net/node.py", ALL_RULES)
+        assert any(v.rule_id == "R9" for v in findings)
+
+    def test_pragma_does_not_suppress_other_rules(self):
+        source = (
+            "import asyncio\n"
+            "async def kick(coro):\n"
+            "    asyncio.create_task(coro)  # pragma: blocking not my rule\n"
+        )
+        findings = lint_source(source, "src/repro/net/node.py", ALL_RULES)
+        assert any(v.rule_id == "R11" for v in findings)
+
+    def test_stale_blocking_pragma_is_audited(self):
+        from repro.lint.engine import audit_pragmas
+
+        source = (
+            "import asyncio\n"
+            "async def serve():\n"
+            "    await asyncio.sleep(1)  # pragma: blocking stale reason\n"
+        )
+        findings = audit_pragmas(source, "src/repro/net/node.py", ALL_RULES)
+        assert any(
+            v.rule_id == "PRAGMA" and "stale `pragma: blocking`" in v.message
+            for v in findings
+        )
+
+    def test_bare_blocking_pragma_is_audited(self):
+        from repro.lint.engine import audit_pragmas
+
+        source = (
+            "async def serve(stopped):\n"
+            "    await stopped.wait()  # pragma: blocking\n"
+        )
+        findings = audit_pragmas(source, "src/repro/net/node.py", ALL_RULES)
+        assert any(
+            v.rule_id == "PRAGMA" and "without a reason" in v.message
+            for v in findings
+        )
+
+    def test_live_blocking_pragma_is_not_audited(self):
+        from repro.lint.engine import audit_pragmas
+
+        source = (
+            "async def serve(stopped):\n"
+            "    await stopped.wait()  # pragma: blocking lifetime wait\n"
+        )
+        findings = audit_pragmas(source, "src/repro/net/node.py", ALL_RULES)
+        assert findings == [], [v.render() for v in findings]

@@ -1,0 +1,201 @@
+"""Unit tests for the tracked task-spawning primitives (R11/R12).
+
+Same in-process pattern as test_node.py: each scenario is one
+``asyncio.run`` — no event-loop fixture plugins needed.
+"""
+
+import asyncio
+import logging
+
+import pytest
+
+from repro.net.tasks import TaskTracker, cancel_and_wait, spawn
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestTaskTracker:
+    def test_spawn_retains_and_reaps(self):
+        async def scenario():
+            tracker = TaskTracker(name="t")
+            done = []
+
+            async def work():
+                done.append(1)
+
+            task = tracker.spawn(work(), name="work")
+            assert len(tracker) == 1
+            await task
+            await asyncio.sleep(0)  # let the done-callback run
+            return len(tracker), done
+
+        remaining, done = run(scenario())
+        assert done == [1]
+        assert remaining == 0
+
+    def test_task_names_carry_the_tracker_name(self):
+        async def scenario():
+            tracker = TaskTracker(name="node3")
+
+            async def work():
+                return None
+
+            task = tracker.spawn(work(), name="anti-entropy")
+            name = task.get_name()
+            await task
+            return name
+
+        assert run(scenario()) == "node3:anti-entropy"
+
+    def test_failed_task_exception_is_logged(self, caplog):
+        async def scenario():
+            tracker = TaskTracker(name="t")
+
+            async def boom():
+                raise RuntimeError("kaput")
+
+            task = tracker.spawn(boom(), name="boom")
+            with pytest.raises(RuntimeError):
+                await task
+            await asyncio.sleep(0)
+            return len(tracker)
+
+        with caplog.at_level(logging.ERROR, logger="repro.net"):
+            remaining = run(scenario())
+        assert remaining == 0
+        assert any("kaput" in record.getMessage() for record in caplog.records)
+        assert any("boom" in record.getMessage() for record in caplog.records)
+
+    def test_cancelled_task_is_reaped_silently(self, caplog):
+        async def scenario():
+            tracker = TaskTracker(name="t")
+            task = tracker.spawn(asyncio.sleep(3600), name="sleeper")
+            await asyncio.sleep(0)
+            await cancel_and_wait(task)
+            await asyncio.sleep(0)
+            return len(tracker)
+
+        with caplog.at_level(logging.ERROR, logger="repro.net"):
+            remaining = run(scenario())
+        assert remaining == 0
+        assert caplog.records == []
+
+    def test_aclose_cancels_stragglers(self):
+        async def scenario():
+            tracker = TaskTracker(name="t")
+            started = asyncio.Event()
+
+            async def forever():
+                started.set()
+                await asyncio.sleep(3600)
+
+            tracker.spawn(forever(), name="forever")
+            await started.wait()
+            await tracker.aclose()
+            return len(tracker)
+
+        assert run(scenario()) == 0
+
+    def test_aclose_spares_the_calling_task(self):
+        # The shutdown op spawns stop() through the tracker; stop()
+        # calls aclose() — it must not cancel itself mid-teardown.
+        async def scenario():
+            tracker = TaskTracker(name="t")
+            result = []
+
+            async def closer():
+                await tracker.aclose()
+                result.append("survived")
+
+            task = tracker.spawn(closer(), name="closer")
+            await task
+            return result
+
+        assert run(scenario()) == ["survived"]
+
+    def test_module_level_spawn(self):
+        async def scenario():
+            async def work():
+                return 5
+
+            return await spawn(work(), name="w")
+
+        assert run(scenario()) == 5
+
+
+class TestCancelAndWait:
+    def test_cancels_and_waits(self):
+        async def scenario():
+            task = asyncio.create_task(asyncio.sleep(3600))
+            await asyncio.sleep(0)
+            await cancel_and_wait(task)
+            return task.cancelled()
+
+        assert run(scenario()) is True
+
+    def test_completed_task_is_a_no_op(self):
+        async def scenario():
+            async def quick():
+                return 7
+
+            task = asyncio.create_task(quick())
+            await task
+            await cancel_and_wait(task)
+            return task.result()
+
+        assert run(scenario()) == 7
+
+    def test_cancelling_the_waiter_cancels_the_target_too(self):
+        # asyncio routes a waiter's cancel into the future it awaits:
+        # cancelling cancel_and_wait() lands a (second) cancel on the
+        # target, which then genuinely ends cancelled — the swallow is
+        # then correct and the waiter unwinds cleanly.
+        async def scenario():
+            async def stubborn():
+                try:
+                    await asyncio.sleep(3600)
+                except asyncio.CancelledError:
+                    pass  # shrugs off the first cancel
+                await asyncio.sleep(3600)
+
+            inner = asyncio.create_task(stubborn())
+            await asyncio.sleep(0)
+            waiter = asyncio.create_task(cancel_and_wait(inner))
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            assert not inner.cancelled()  # first cancel was shrugged off
+            waiter.cancel()
+            await waiter
+            return inner.cancelled()
+
+        assert run(scenario()) is True
+
+    def test_foreign_cancellation_re_raises(self):
+        # A CancelledError that arrives while the target is NOT
+        # cancelled is not ours to swallow; drive the coroutine by hand
+        # to inject one deterministically.
+        async def scenario():
+            async def stubborn():
+                try:
+                    await asyncio.sleep(3600)
+                except asyncio.CancelledError:
+                    pass
+                await asyncio.sleep(3600)
+
+            inner = asyncio.create_task(stubborn())
+            await asyncio.sleep(0)
+            coro = cancel_and_wait(inner)
+            coro.send(None)  # run to the `await task` suspension
+            await asyncio.sleep(0)  # inner swallows the first cancel
+            with pytest.raises(asyncio.CancelledError):
+                coro.throw(asyncio.CancelledError())
+            inner.cancel()  # the second cancel lands for real
+            # Reap via wait(): hand-driving the coroutine above left
+            # the task's internal await-bookkeeping mid-flight, so a
+            # direct `await inner` is off the table.
+            await asyncio.wait({inner})
+            return inner.cancelled()
+
+        assert run(scenario()) is True
