@@ -26,15 +26,18 @@ workload, seed) — the experiments rely on that to be re-runnable.
 from __future__ import annotations
 
 import random
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 if TYPE_CHECKING:
+    from repro.durable import NodeJournal
     from repro.metrics.reporting import Table
 
 from repro.cluster.convergence import GroundTruth, fingerprints_equal
 from repro.cluster.coverage import TransitiveCoverageTracker
-from repro.cluster.failures import FailurePlan
+from repro.cluster.failures import FailurePlan, Recover
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.sanitizer import sanitize_enabled, sanitize_endpoints
 from repro.cluster.scheduler import PeerSelector, RandomSelector
@@ -161,6 +164,23 @@ class ClusterSimulation:
         become byte-exact frame lengths (with the sanitizer on, each
         delivery also verifies ``decode(encode(m)) == m``).  ``None``
         defers to the ``REPRO_WIRE`` environment variable.
+    durable:
+        Run the cluster on the durable substrate (:mod:`repro.durable`):
+        every node exposing ``attach_journal`` (the DBVV protocol
+        adapters do; the baselines predate durability and run unchanged)
+        journals its state-changing inputs to an on-disk WAL, and every
+        :class:`~repro.cluster.failures.Recover` event rebuilds the node
+        from checkpoint + WAL instead of trusting the in-memory object —
+        the fail-stop repair path done the way a real deployment must.
+        ``None`` (the default) defers to the ``REPRO_DURABLE``
+        environment variable.  Journals run with ``fsync`` off: a
+        simulated crash never drops the page cache, and the fsync-
+        boundary semantics are exercised directly by the durable test
+        suite's truncation properties.
+    data_dir:
+        Where durable mode keeps its per-node directories
+        (``<data_dir>/node<k>/``).  ``None`` uses a private temporary
+        directory that lives as long as the simulation object.
     incremental_tracking:
         Maintain convergence and staleness incrementally (state-version
         comparison + ground-truth dirty frontier) so per-round query
@@ -186,12 +206,20 @@ class ClusterSimulation:
     check_invariants_on_fault: bool = True
     sanitize: bool | None = None
     wire: bool | None = None
+    durable: bool | None = None
+    data_dir: str | None = None
     incremental_tracking: bool = True
     session_observer: Callable[[int, int, SyncStats], None] | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
+        # Imported here, not at module level: repro.durable sits on top
+        # of repro.core, and this module loads while repro.core is still
+        # initializing (via the repro.metrics <-> repro.cluster seam).
+        from repro.durable import durable_enabled
+
         self.sanitize = sanitize_enabled(self.sanitize)
+        self.durable = durable_enabled(self.durable)
         self.rng = random.Random(self.seed)
         self.network_counters = OverheadCounters()
         self.network = SimulatedNetwork(
@@ -213,6 +241,59 @@ class ClusterSimulation:
         self.round_no = 0
         self.history: list[RoundStats] = []
         self._pending_retries: list[_PendingRetry] = []
+        self._durable_tmp: tempfile.TemporaryDirectory | None = None
+        self.journals: dict[int, NodeJournal] = {}
+        if self.durable:
+            for node in self.nodes:
+                self._attach_journal(node)
+
+    # -- durable substrate -------------------------------------------------------
+
+    def _durable_root(self) -> Path:
+        if self.data_dir is not None:
+            return Path(self.data_dir)
+        if self._durable_tmp is None:
+            self._durable_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-durable-"
+            )
+        return Path(self._durable_tmp.name)
+
+    def _attach_journal(self, node: ProtocolNode) -> None:
+        """Give ``node`` an on-disk journal, if it supports one.
+
+        Nodes without ``attach_journal`` (the baselines) run unchanged —
+        durable mode is a per-protocol capability, not a cluster-wide
+        requirement, so env-driven durable CI sweeps the whole suite.
+        """
+        from repro.durable import NodeJournal
+
+        attach = getattr(node, "attach_journal", None)
+        if attach is None:
+            return
+        journal = NodeJournal(
+            self._durable_root() / f"node{node.node_id}",
+            # A simulated crash never drops the OS page cache, so sim
+            # journals skip the fsync cost; the durable suite's
+            # truncation properties cover fsync-boundary semantics.
+            fsync=False,
+        )
+        attach(journal)
+        self.journals[node.node_id] = journal
+
+    def _recover_durable_nodes(self, fired: list[object]) -> None:
+        """Rebuild every node a :class:`Recover` event just repaired
+        from its on-disk state — never from the in-memory object."""
+        for event in fired:
+            if not isinstance(event, Recover):
+                continue
+            node = self.nodes[event.node]
+            recover = getattr(node, "recover_from_journal", None)
+            if recover is None or event.node not in self.journals:
+                continue
+            recover()
+            # The rebuilt replica must be re-examined wholesale by the
+            # incremental staleness tracker (object identity changed).
+            self.ground_truth.note_node_refresh(event.node)
 
     # -- workload entry points ---------------------------------------------------
 
@@ -263,6 +344,8 @@ class ClusterSimulation:
             )
         self.nodes.append(newcomer)
         self.n_nodes = new_n
+        if self.durable:
+            self._attach_journal(newcomer)
         # The tracked list object just grew in place; the newcomer's
         # whole schema starts dirty (an all-zero replica lags every
         # non-empty truth value).
@@ -284,7 +367,9 @@ class ClusterSimulation:
         cluster, flattering every schedule's convergence numbers.
         """
         self.round_no += 1
-        self.failure_plan.apply_round(self.round_no, self.network)
+        fired = self.failure_plan.apply_round(self.round_no, self.network)
+        if self.durable:
+            self._recover_durable_nodes(fired)
         stats = RoundStats(self.round_no)
         msgs_before = self.network_counters.messages_sent
         bytes_before = self.network_counters.bytes_sent
@@ -361,7 +446,9 @@ class ClusterSimulation:
         selection noise).
         """
         self.round_no += 1
-        self.failure_plan.apply_round(self.round_no, self.network)
+        fired = self.failure_plan.apply_round(self.round_no, self.network)
+        if self.durable:
+            self._recover_durable_nodes(fired)
         stats = RoundStats(self.round_no)
         msgs_before = self.network_counters.messages_sent
         bytes_before = self.network_counters.bytes_sent

@@ -9,12 +9,22 @@ transport and condenses outcomes into :class:`~repro.interfaces.SyncStats`.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.conflicts import ConflictReporter
 from repro.core.delta import DeltaEpidemicNode
-from repro.core.messages import OutOfBoundReply
+from repro.core.messages import OutOfBoundReply, PropagationReply
 from repro.core.node import EpidemicNode
 from repro.core.session import PullSession, respond
-from repro.errors import MessageLostError, NodeDownError, ProtocolStateError
+from repro.errors import (
+    DurabilityError,
+    MessageLostError,
+    NodeDownError,
+    ProtocolStateError,
+)
+
+if TYPE_CHECKING:
+    from repro.durable.journal import NodeJournal
 from repro.interfaces import (
     ProtocolNode,
     SessionPhase,
@@ -58,11 +68,67 @@ class DBVVProtocolNode(ProtocolNode):
             node_id, n_nodes, items, counters=counters,
             conflict_reporter=conflict_reporter,
         )
+        # Replica-at-birth shape, for journal recovery's fresh-node path
+        # (journaled expand records re-grow the replica set on replay).
+        self._items = tuple(items)
+        self._initial_n_nodes = n_nodes
+        self.journal: NodeJournal | None = None
+
+    # -- durability (repro.durable integration) -------------------------------
+
+    def attach_journal(self, journal: NodeJournal) -> None:
+        """Journal every state-changing input of this node from now on.
+
+        Attach at construction time, before the node accepts anything:
+        the journal's recovery replays from an empty (or checkpointed)
+        replica, so inputs accepted before attachment would be lost.
+        """
+        self.journal = journal
+
+    def recover_from_journal(self) -> None:
+        """Rebuild ``self.node`` from disk (checkpoint + WAL suffix),
+        discarding the in-memory object — the fail-stop repair path,
+        done the way a real deployment must do it.
+
+        The conflict reporter's history is telemetry and starts empty on
+        a repaired server (same contract as the snapshot format); its
+        *policy* carries over, and conflicts re-detected while replaying
+        post-checkpoint records are re-declared into the fresh reporter.
+        """
+        if self.journal is None:
+            raise DurabilityError(
+                f"node {self.node_id} has no attached journal to recover "
+                "from"
+            )
+        reporter = ConflictReporter(policy=self.node.conflicts.policy)
+        self.node = self.journal.recover(
+            self.node_class,
+            self.node_id,
+            self._initial_n_nodes,
+            list(self._items),
+            counters=self.counters,
+            conflict_reporter=reporter,
+        )
+        # Journaled expand records may have re-grown the replica set.
+        self.n_nodes = self.node.n_nodes
 
     # -- user operations -----------------------------------------------------
 
     def user_update(self, item: str, op: UpdateOperation) -> None:
         self.node.update(item, op)
+        if self.journal is not None:
+            # Journal after the node accepted (an op the node rejects
+            # never happened); durable once this group commit returns.
+            self.journal.record_update(item, op)
+            self.journal.commit(self.node)
+
+    def resolve_conflict(self, item: str, value: bytes) -> None:
+        """Administrator conflict resolution, journaled like any other
+        state-changing input (see :meth:`EpidemicNode.resolve_conflict`)."""
+        self.node.resolve_conflict(item, value)
+        if self.journal is not None:
+            self.journal.record_resolve(item, value)
+            self.journal.commit(self.node)
 
     def read(self, item: str) -> bytes:
         return self.node.read(item)
@@ -114,6 +180,11 @@ class DBVVProtocolNode(ProtocolNode):
         # mid-session fault can never leave a half-applied adoption —
         # conclude() runs accept_propagation, which is local and atomic.
         outcome = pull.conclude(answer)
+        if self.journal is not None and isinstance(answer, PropagationReply):
+            # One group commit covers the adoption and its intra-node
+            # replay; a YouAreCurrent changed nothing, nothing to log.
+            self.journal.record_accept(answer)
+            self.journal.commit(self.node)
         if outcome.identical:
             stats.identical = True
             return stats
@@ -157,7 +228,14 @@ class DBVVProtocolNode(ProtocolNode):
             session.close()
         if not isinstance(reply, OutOfBoundReply):
             raise ProtocolStateError("OutOfBoundReply", reply)
-        return self.node.accept_oob(reply)
+        installed = self.node.accept_oob(reply)
+        if self.journal is not None:
+            # Journaled whether or not a copy was installed: replay is
+            # deterministic against the same pre-state, and a rejected
+            # reply may still have declared a conflict.
+            self.journal.record_oob(reply)
+            self.journal.commit(self.node)
+        return installed
 
     # -- introspection -------------------------------------------------------
 
@@ -215,6 +293,9 @@ class DBVVProtocolNode(ProtocolNode):
         replica set (see :meth:`EpidemicNode.expand_replica_set`)."""
         self.node.expand_replica_set(new_n_nodes)
         self.n_nodes = new_n_nodes
+        if self.journal is not None:
+            self.journal.record_expand(new_n_nodes)
+            self.journal.commit(self.node)
 
     def check_invariants(self) -> None:
         """Delegate to the node's cross-structure invariant checks."""

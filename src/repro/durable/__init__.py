@@ -1,0 +1,74 @@
+"""Durable storage substrate: write-ahead log + checkpoint recovery.
+
+The paper's fail-stop model (section 8.2) assumes a "repaired" server
+resumes from durable state.  Until this package, the reproduction faked
+that: crash/recovery restored from in-memory objects that a real
+deployment would have lost with the process.  ``repro.durable`` makes
+the assumption real:
+
+* :mod:`~repro.durable.wal` — the append-only log file: LEB128
+  length-prefixed, CRC32-guarded records, group-commit fsync batching,
+  and the torn-tail truncation rule;
+* :mod:`~repro.durable.records` — the record codec: the five
+  state-changing node inputs (update / accept / oob / resolve /
+  expand), wire-encoded with LSNs for checkpoint gating;
+* :mod:`~repro.durable.journal` — :class:`~repro.durable.journal.
+  NodeJournal`, one node's checkpoint + WAL + recovery engine.
+
+Both drivers consume it: ``ClusterSimulation(durable=True)`` (or
+``REPRO_DURABLE=1``) journals every DBVV-protocol node and rebuilds
+recovering nodes from disk instead of trusting the in-memory object,
+and ``repro.net`` nodes given ``--data-dir`` journal every accepted
+update and recover on restart.  See docs/PROTOCOL.md section 14 for the
+on-disk format.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.durable.journal import NodeJournal
+from repro.durable.records import (
+    WalAccept,
+    WalExpand,
+    WalOob,
+    WalRecord,
+    WalResolve,
+    WalUpdate,
+    apply_record,
+    decode_record,
+    encode_record,
+)
+from repro.durable.wal import WriteAheadLog
+
+__all__ = [
+    "DURABLE_ENV_VAR",
+    "NodeJournal",
+    "WalAccept",
+    "WalExpand",
+    "WalOob",
+    "WalRecord",
+    "WalResolve",
+    "WalUpdate",
+    "WriteAheadLog",
+    "apply_record",
+    "decode_record",
+    "durable_enabled",
+    "encode_record",
+]
+
+#: Environment variable that turns the simulator's durable mode on for
+#: the whole run, mirroring ``REPRO_SANITIZE``/``REPRO_WIRE``.
+DURABLE_ENV_VAR = "REPRO_DURABLE"
+
+
+def durable_enabled(flag: bool | None) -> bool:
+    """Resolve a tri-state ``durable`` setting against the environment.
+
+    Explicit ``True``/``False`` wins; ``None`` defers to
+    ``REPRO_DURABLE`` (any non-empty value other than ``0``).
+    """
+    if flag is not None:
+        return flag
+    value = os.environ.get(DURABLE_ENV_VAR, "")
+    return value not in ("", "0")

@@ -1,0 +1,218 @@
+"""Per-node durability engine: checkpoint + WAL + recovery.
+
+One :class:`NodeJournal` owns one data directory::
+
+    <data_dir>/checkpoint.snap   # "checkpoint lsn <n>" + dump_node text
+    <data_dir>/wal.log           # records with LSNs > any checkpoint's
+
+Writing discipline (the drivers call this after every accepted input):
+
+1. ``record_*`` appends the wire-encoded record to the WAL buffer;
+2. ``commit(node)`` group-commits (one flush/fsync for the batch) and,
+   every ``checkpoint_every`` records, folds the log into a fresh
+   checkpoint.
+
+Checkpointing is crash-safe by LSN gating: the snapshot is replaced
+atomically (:func:`~repro.substrate.persistence.atomic_write_bytes`)
+*before* the WAL is truncated, and every record carries its LSN — a
+crash between the two steps leaves stale records in the log whose LSNs
+the checkpoint already covers, and recovery skips them (replaying a
+user update twice is not idempotent).
+
+Recovery (:meth:`NodeJournal.recover`) is the paper's "repaired server"
+made real: load the latest valid checkpoint (or start from a fresh
+replica), truncate any torn WAL tail, replay the intact suffix, and
+hand back a node whose ``after_restore`` has re-derived the content
+digest and per-origin ``log_gaps``.  The conflict reporter's history is
+telemetry, not protocol state: like the snapshot format, recovery
+starts it empty, and conflicts re-detected while replaying post-
+checkpoint records are re-declared into the fresh reporter.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.node import EpidemicNode
+from repro.core.messages import OutOfBoundReply, PropagationReply
+from repro.durable.records import (
+    WalAccept,
+    WalExpand,
+    WalOob,
+    WalRecord,
+    WalResolve,
+    WalUpdate,
+    apply_record,
+    decode_record,
+    encode_record,
+)
+from repro.durable.wal import WriteAheadLog
+from repro.substrate.operations import UpdateOperation
+from repro.substrate.persistence import (
+    SnapshotError,
+    atomic_write_bytes,
+    dump_node,
+    load_node,
+)
+
+__all__ = ["NodeJournal"]
+
+_CHECKPOINT_NAME = "checkpoint.snap"
+_WAL_NAME = "wal.log"
+_CHECKPOINT_HEADER = "checkpoint lsn "
+
+
+class NodeJournal:
+    """Durable state of one epidemic node: checkpoint file + WAL."""
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        fsync: bool = True,
+        checkpoint_every: int = 256,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        #: Fold the WAL into a fresh checkpoint once this many records
+        #: accumulate past the last one (0 disables auto-checkpointing).
+        self.checkpoint_every = checkpoint_every
+        self.checkpoints = 0
+        self.records_replayed = 0
+        self.records_skipped = 0
+        self.wal = WriteAheadLog(self.wal_path, fsync=fsync)
+        self._next_lsn = 1
+        self._since_checkpoint = 0
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.data_dir / _CHECKPOINT_NAME
+
+    @property
+    def wal_path(self) -> Path:
+        return self.data_dir / _WAL_NAME
+
+    @property
+    def has_state(self) -> bool:
+        """True when the data directory holds anything to recover from."""
+        return self.checkpoint_path.exists() or (
+            self.wal_path.exists() and self.wal_path.stat().st_size > 0
+        )
+
+    # -- journaling -----------------------------------------------------------
+
+    def record(self, record: WalRecord) -> None:
+        """Append one record (buffered until the next :meth:`commit`)."""
+        self.wal.append(encode_record(self._next_lsn, record))
+        self._next_lsn += 1
+        self._since_checkpoint += 1
+
+    def record_update(self, item: str, op: UpdateOperation) -> None:
+        self.record(WalUpdate(item, op))
+
+    def record_accept(self, reply: PropagationReply) -> None:
+        self.record(WalAccept(reply))
+
+    def record_oob(self, reply: OutOfBoundReply) -> None:
+        self.record(WalOob(reply))
+
+    def record_resolve(self, item: str, value: bytes) -> None:
+        self.record(WalResolve(item, value))
+
+    def record_expand(self, n_nodes: int) -> None:
+        self.record(WalExpand(n_nodes))
+
+    def commit(self, node: EpidemicNode | None = None) -> None:
+        """Group-commit the pending batch; with ``node`` given, fold the
+        WAL into a checkpoint when the cadence is due."""
+        self.wal.commit()
+        if (
+            node is not None
+            and self.checkpoint_every > 0
+            and self._since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint(node)
+
+    def checkpoint(self, node: EpidemicNode) -> None:
+        """Snapshot ``node`` and truncate the WAL it absorbs.
+
+        Order matters: replace the snapshot first (atomic), then reset
+        the log.  Crashing in between leaves records the checkpoint
+        already covers — recovery's LSN gate skips them.
+        """
+        covered = self._next_lsn - 1
+        text = f"{_CHECKPOINT_HEADER}{covered}\n{dump_node(node)}"
+        atomic_write_bytes(
+            self.checkpoint_path, text.encode("utf-8"), fsync=self.fsync
+        )
+        self.wal.reset()
+        self._since_checkpoint = 0
+        self.checkpoints += 1
+
+    def close(self) -> None:
+        self.wal.close()
+
+    # -- recovery -------------------------------------------------------------
+
+    def recover(
+        self,
+        node_class: type[EpidemicNode],
+        node_id: int,
+        n_nodes: int,
+        items: Sequence[str],
+        **node_kwargs: object,
+    ) -> EpidemicNode:
+        """Rebuild the node from disk: checkpoint base + WAL suffix.
+
+        With no durable state yet, this returns a fresh
+        ``node_class(node_id, n_nodes, items, **node_kwargs)`` — the
+        constructor arguments describe the replica *at birth*; journaled
+        ``expand`` records re-grow the replica set during replay.  Torn
+        WAL tails are truncated in place, so the journal is immediately
+        appendable again.
+        """
+        base_lsn = 0
+        node: EpidemicNode | None = None
+        if self.checkpoint_path.exists():
+            base_lsn, snapshot_text = self._read_checkpoint()
+            node = load_node(snapshot_text, node_class, **node_kwargs)
+        if node is None:
+            node = node_class(node_id, n_nodes, list(items), **node_kwargs)
+        last_lsn = base_lsn
+        replayed = 0
+        for body in self.wal.open_and_repair():
+            lsn, record = decode_record(body)
+            if lsn <= base_lsn:
+                # Stale record from a crash between checkpoint-replace
+                # and WAL-truncate; its effect is inside the snapshot.
+                self.records_skipped += 1
+                continue
+            apply_record(node, record)
+            replayed += 1
+            last_lsn = lsn
+        self.records_replayed += replayed
+        self._next_lsn = last_lsn + 1
+        self._since_checkpoint = replayed
+        return node
+
+    def _read_checkpoint(self) -> tuple[int, str]:
+        text = self.checkpoint_path.read_text()
+        header, newline, snapshot_text = text.partition("\n")
+        if not newline or not header.startswith(_CHECKPOINT_HEADER):
+            raise SnapshotError(
+                f"malformed checkpoint header in {self.checkpoint_path}: "
+                f"{header[:40]!r}"
+            )
+        try:
+            base_lsn = int(header[len(_CHECKPOINT_HEADER):])
+        except ValueError:
+            raise SnapshotError(
+                f"malformed checkpoint LSN in {self.checkpoint_path}: "
+                f"{header!r}"
+            ) from None
+        if base_lsn < 0:
+            raise SnapshotError(
+                f"negative checkpoint LSN in {self.checkpoint_path}"
+            )
+        return base_lsn, snapshot_text

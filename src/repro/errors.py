@@ -150,3 +150,30 @@ class NetworkSessionError(ReplicationError):
     handshake fails — the networked analogue of the simulator's
     :class:`NodeDownError`/:class:`MessageLostError` session aborts.
     """
+
+
+class DurabilityError(ReplicationError):
+    """Base class for durable-storage failures (:mod:`repro.durable`)."""
+
+
+class WALError(DurabilityError):
+    """A write-ahead-log record is corrupt beyond the torn-tail rule.
+
+    A *torn tail* — a record cut short by a crash mid-write — is an
+    expected crash artifact and is silently truncated on recovery.  This
+    error covers what truncation cannot explain: a record whose CRC
+    matches but whose body does not decode, an impossible record kind,
+    or trailing garbage inside a CRC-valid body.  Those mean the log was
+    damaged (or written by a bug), and recovery must stop rather than
+    replay a guess.
+    """
+
+
+class JournalIntegrityError(DurabilityError):
+    """A write journal failed validation during recovery.
+
+    :meth:`repro.substrate.storage.Storage.recover` requires the
+    journal's sequence numbers to be exactly ``1..N`` with no gaps or
+    duplicates — a disk-backed journal that lost or doubled a record
+    must fail recovery loudly instead of silently renumbering writes.
+    """

@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable delta-VV compression (send full vectors)",
     )
     parser.add_argument("--log-file", default=None)
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable journal directory (checkpoint + WAL); the node "
+        "recovers from it on restart.  Omit to run in-memory only.",
+    )
     return parser
 
 
@@ -85,6 +91,7 @@ def build_config(argv: list[str]) -> NodeConfig:
         seed=args.seed,
         delta_vv=not args.full_vv,
         log_file=args.log_file,
+        data_dir=args.data_dir,
     )
 
 

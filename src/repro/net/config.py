@@ -82,6 +82,10 @@ class NodeConfig:
     delta_vv: bool = True
     reconnect_attempts: int = 1
     log_file: str | None = None
+    #: Directory for the durable journal (checkpoint + WAL).  ``None``
+    #: runs in-memory only; a path makes every accepted update durable
+    #: and has the node recover from disk on restart (repro.durable).
+    data_dir: str | None = None
 
     def __post_init__(self) -> None:
         ids = sorted(peer.node_id for peer in self.peers)

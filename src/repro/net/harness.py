@@ -143,6 +143,7 @@ class LocalCluster:
         log_dir: str | Path,
         seed: int = 0,
         anti_entropy_period: float = 0.0,
+        data_dir: str | Path | None = None,
     ) -> None:
         if n_nodes < 2:
             raise SimulationError("a cluster needs at least 2 nodes")
@@ -151,6 +152,10 @@ class LocalCluster:
         self.seed = seed
         self.anti_entropy_period = anti_entropy_period
         self.log_dir = Path(log_dir)
+        #: With a data directory, every node runs durably (journal under
+        #: ``<data_dir>/node-<id>``) and :meth:`restart` recovers a
+        #: killed node from its on-disk state.
+        self.data_dir = Path(data_dir) if data_dir is not None else None
         self.processes: list[subprocess.Popen[bytes]] = []
         self.clients: list[NodeClient | None] = [None] * n_nodes
         self.peer_ports: list[int] = []
@@ -165,51 +170,83 @@ class LocalCluster:
         ports = _free_ports(2 * self.n_nodes)
         self.peer_ports = ports[: self.n_nodes]
         self.client_ports = ports[self.n_nodes :]
+        try:
+            for node_id in range(self.n_nodes):
+                self.processes.append(self._spawn(node_id))
+            self._await_ready(ready_timeout)
+        except BaseException:
+            self.stop()
+            raise
+
+    def _spawn(self, node_id: int) -> subprocess.Popen[bytes]:
+        """Launch one replica process on its allocated ports.
+
+        The log file is opened fresh (truncating any previous run's
+        output) so readiness watching never matches a stale READY line
+        from before a restart.
+        """
         env = dict(os.environ)
         src_dir = str(Path(__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = (
             src_dir if not existing else src_dir + os.pathsep + existing
         )
-        try:
-            for node_id in range(self.n_nodes):
-                peers = [
-                    f"{k}@127.0.0.1:{self.peer_ports[k]}"
-                    for k in range(self.n_nodes)
-                    if k != node_id
-                ]
-                log_file = open(self.log_dir / f"node-{node_id}.log", "w")
-                self._log_files.append(log_file)
-                self.processes.append(
-                    subprocess.Popen(
-                        [
-                            sys.executable,
-                            "-m",
-                            "repro.net",
-                            "--node-id",
-                            str(node_id),
-                            "--items",
-                            ",".join(self.items),
-                            "--peer-port",
-                            str(self.peer_ports[node_id]),
-                            "--client-port",
-                            str(self.client_ports[node_id]),
-                            "--peers",
-                            *peers,
-                            "--seed",
-                            str(self.seed),
-                            "--period",
-                            str(self.anti_entropy_period),
-                        ],
-                        stdout=log_file,
-                        stderr=subprocess.STDOUT,
-                        env=env,
-                    )
-                )
-            self._await_ready(ready_timeout)
-        except BaseException:
-            self.stop()
-            raise
+        peers = [
+            f"{k}@127.0.0.1:{self.peer_ports[k]}"
+            for k in range(self.n_nodes)
+            if k != node_id
+        ]
+        log_file = open(self.log_dir / f"node-{node_id}.log", "w")
+        self._log_files.append(log_file)
+        command = [
+            sys.executable,
+            "-m",
+            "repro.net",
+            "--node-id",
+            str(node_id),
+            "--items",
+            ",".join(self.items),
+            "--peer-port",
+            str(self.peer_ports[node_id]),
+            "--client-port",
+            str(self.client_ports[node_id]),
+            "--peers",
+            *peers,
+            "--seed",
+            str(self.seed),
+            "--period",
+            str(self.anti_entropy_period),
+        ]
+        if self.data_dir is not None:
+            command += ["--data-dir", str(self.data_dir / f"node-{node_id}")]
+        return subprocess.Popen(
+            command,
+            stdout=log_file,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+
+    def kill(self, node_id: int) -> None:
+        """SIGKILL one node — a crash, not a shutdown: no checkpoint, no
+        clean close; recovery must work from the WAL alone."""
+        client = self.clients[node_id]
+        if client is not None:
+            client.close()
+            self.clients[node_id] = None
+        process = self.processes[node_id]
+        process.kill()
+        process.wait(timeout=10)
+
+    def restart(self, node_id: int, ready_timeout: float = 20.0) -> None:
+        """Respawn a killed node on its original ports and await it.
+
+        With a ``data_dir`` the node comes back from its durable state;
+        without one it comes back empty (and catches up epidemically).
+        """
+        self.processes[node_id] = self._spawn(node_id)
+        deadline = time.monotonic() + ready_timeout  # lint: skip=R3
+        self._await_ready_line(node_id, deadline)
+        self.client(node_id).ping()
 
     def _await_ready(self, timeout: float) -> None:
         """Block until every node printed ``READY`` and answers a ping.

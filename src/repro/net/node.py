@@ -42,8 +42,9 @@ from typing import Any
 
 from repro.cluster.scheduler import PeerSelector, RandomSelector
 from repro.core.node import EpidemicNode
-from repro.core.messages import PropagationRequest
+from repro.core.messages import PropagationReply, PropagationRequest
 from repro.core.session import PullOutcome, PullSession, respond
+from repro.durable import NodeJournal
 from repro.errors import (
     NetworkSessionError,
     ReplicationError,
@@ -91,9 +92,23 @@ class NetNode:
         self.config = config
         self.node_id = config.node_id
         self.n_nodes = config.n_nodes
-        self.node = EpidemicNode(
-            config.node_id, config.n_nodes, list(config.items)
-        )
+        self.journal: NodeJournal | None = None
+        if config.data_dir is not None:
+            # Durable mode: recover from whatever the directory holds
+            # (a fresh replica when it is empty), then journal every
+            # accepted input from here on.  A real fsync per group
+            # commit — a killed process must find its state again.
+            self.journal = NodeJournal(config.data_dir, fsync=True)
+            self.node = self.journal.recover(
+                EpidemicNode,
+                config.node_id,
+                config.n_nodes,
+                list(config.items),
+            )
+        else:
+            self.node = EpidemicNode(
+                config.node_id, config.n_nodes, list(config.items)
+            )
         # Frame-type census of frames *sent* by this process; summing
         # the census over all processes of a cluster reproduces the
         # simulator network's delivered-frame census (nothing drops
@@ -161,6 +176,12 @@ class NetNode:
         for peer_id in sorted(self._links):
             self._drop_link(peer_id)
         await self._tasks.aclose()
+        if self.journal is not None:
+            # A clean shutdown folds the WAL into a checkpoint so the
+            # next start replays nothing; recovery does not depend on
+            # this (a kill skips it and replays the WAL instead).
+            self.journal.checkpoint(self.node)
+            self.journal.close()
         self._stopped.set()
 
     # -- peer service (the SendPropagation side) ------------------------------
@@ -253,7 +274,17 @@ class NetNode:
                 answer = link.codec.decode(
                     peer_id, self.node_id, answer_frame
                 )
-                return pull.conclude(answer)
+                outcome = pull.conclude(answer)
+                if self.journal is not None and isinstance(
+                    answer, PropagationReply
+                ):
+                    # conclude + record + commit run without an await in
+                    # between (R12): the journal can never hold an
+                    # adoption a concurrent coroutine hasn't seen yet.
+                    # A YouAreCurrent changed nothing, nothing to log.
+                    self.journal.record_accept(answer)
+                    self.journal.commit(self.node)
+                return outcome
             raise NetworkSessionError(
                 f"session with peer {peer_id} failed after "
                 f"{attempts} attempt(s)"
@@ -373,6 +404,12 @@ class NetNode:
         if op == "put":
             value = bytes.fromhex(request["value"])
             self.node.update(request["item"], Put(value))
+            if self.journal is not None:
+                # Journaled after the node accepted it; the "ok" reply
+                # is written only after the group commit returns, so an
+                # acknowledged put survives a kill -9.
+                self.journal.record_update(request["item"], Put(value))
+                self.journal.commit(self.node)
             return {"ok": True}
         if op == "get":
             return {"ok": True, "value": self.node.read(request["item"]).hex()}
@@ -405,7 +442,7 @@ class NetNode:
         for entry in self.node.store:
             store[entry.name] = entry.value.hex()
             ivvs[entry.name] = list(entry.ivv.as_tuple())
-        return {
+        status: dict[str, Any] = {
             "ok": True,
             "node": self.node_id,
             "store": store,
@@ -419,3 +456,13 @@ class NetNode:
             "sessions_served": self.sessions_served,
             "conflicts": self.node.conflicts.count,
         }
+        if self.journal is not None:
+            status["durable"] = {
+                "checkpoints": self.journal.checkpoints,
+                "records_replayed": self.journal.records_replayed,
+                "records_skipped": self.journal.records_skipped,
+                "wal_records": self.journal.wal.records_appended,
+                "wal_bytes": self.journal.wal.bytes_appended,
+                "fsyncs": self.journal.wal.fsyncs,
+            }
+        return status

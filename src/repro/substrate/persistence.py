@@ -18,6 +18,7 @@ covering the operation types in :mod:`repro.substrate.operations`.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 from repro.core.node import EpidemicNode
@@ -34,6 +35,7 @@ from repro.substrate.operations import (
 
 __all__ = [
     "SnapshotError",
+    "atomic_write_bytes",
     "encode_op",
     "decode_op",
     "dump_node",
@@ -74,9 +76,22 @@ def decode_op(text: str) -> UpdateOperation:
             return Append(bytes.fromhex(rest))
         if kind == "patch":
             offset_text, _, data_hex = rest.partition(" ")
-            return BytePatch(int(offset_text), bytes.fromhex(data_hex))
+            offset = int(offset_text)
+            if offset < 0:
+                # int() parses "-3" happily; a negative offset is not a
+                # representable operation, it is a corrupt record that
+                # would silently damage the value on replay.
+                raise SnapshotError(
+                    f"negative patch offset in operation line: {text!r}"
+                )
+            return BytePatch(offset, bytes.fromhex(data_hex))
         if kind == "truncate":
-            return Truncate(int(rest))
+            length = int(rest)
+            if length < 0:
+                raise SnapshotError(
+                    f"negative truncate length in operation line: {text!r}"
+                )
+            return Truncate(length)
         if kind == "counter":
             return CounterAdd(int(rest))
     except (ValueError, TypeError) as exc:
@@ -121,7 +136,13 @@ def dump_node(node: EpidemicNode) -> str:
             f"{1 if entry.in_conflict else 0}"
         )
         if entry.has_auxiliary:
-            assert entry.aux_ivv is not None and entry.aux_value is not None
+            if entry.aux_ivv is None or entry.aux_value is None:
+                # A bare assert here would vanish under `python -O` and
+                # resurface as AttributeError on None.hex() below.
+                raise SnapshotError(
+                    f"item {entry.name!r} claims an auxiliary copy but "
+                    "its auxiliary IVV or value is missing"
+                )
             lines.append(
                 f"aux {entry.name} {_vv_text(entry.aux_ivv)} "
                 f"{entry.aux_value.hex()}"
@@ -215,9 +236,46 @@ def load_node(
     return node
 
 
+def atomic_write_bytes(path: str | Path, data: bytes, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically: temp file in the same
+    directory, flush (+ optional fsync), then ``os.replace``.
+
+    A crash at any point leaves either the previous file intact or the
+    fully written new one — never a torn mix.  ``os.replace`` is atomic
+    only within one filesystem, which the same-directory temp file
+    guarantees.  The WAL checkpoints (:mod:`repro.durable`) use the
+    same helper, so every durable artifact shares one torn-write story.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    finally:
+        # A failure between write and replace must not litter the data
+        # directory with a stale temp file a later write would trust.
+        if tmp.exists():
+            tmp.unlink()
+    if fsync:
+        # The rename itself must survive a power cut: fsync the directory.
+        try:
+            dir_fd = os.open(target.parent, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds (e.g. Windows)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
 def save_node(node: EpidemicNode, path: str | Path) -> None:
-    """Write a node snapshot to disk."""
-    Path(path).write_text(dump_node(node))
+    """Write a node snapshot to disk (atomically: a crash mid-write
+    leaves the previous good snapshot in place, not a torn file)."""
+    atomic_write_bytes(path, dump_node(node).encode("utf-8"))
 
 
 def restore_node(

@@ -21,10 +21,11 @@ protocols alone.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.errors import UnknownItemError
+from repro.errors import JournalIntegrityError, UnknownItemError
 
 __all__ = ["WriteRecord", "Storage"]
 
@@ -99,8 +100,15 @@ class Storage:
         return list(self._journal)
 
     def journal_since(self, seq: int) -> list[WriteRecord]:
-        """Journal entries with sequence number strictly above ``seq``."""
-        return [record for record in self._journal if record.seq > seq]
+        """Journal entries with sequence number strictly above ``seq``.
+
+        The journal is seq-sorted by construction (every write appends
+        the next sequence number), so the cut point is a binary search —
+        the linear scan this replaces charged O(whole journal) to every
+        incremental reader.
+        """
+        start = bisect_right(self._journal, seq, key=lambda record: record.seq)
+        return self._journal[start:]
 
     @property
     def last_seq(self) -> int:
@@ -112,11 +120,26 @@ class Storage:
         """Rebuild a store from a schema and a journal.
 
         The journal must be replayed in order; this is what a crashed
-        server does with its (persistent) journal on restart.
+        server does with its (persistent) journal on restart.  Sequence
+        numbers must be exactly ``1..N`` with no duplicates or gaps:
+        replaying ``write`` renumbers every record, so a journal that
+        lost a record (gap) or doubled one (duplicate) — exactly the
+        corruption a disk-backed journal can exhibit — would otherwise
+        be masked silently.  Such a journal raises
+        :class:`~repro.errors.JournalIntegrityError` instead.
         """
         store = cls()
         for key in schema:
             store.create(key)
-        for record in sorted(journal, key=lambda r: r.seq):
+        ordered = sorted(journal, key=lambda r: r.seq)
+        for position, record in enumerate(ordered, start=1):
+            if record.seq != position:
+                kind = "duplicate" if record.seq < position else "gap at"
+                raise JournalIntegrityError(
+                    f"journal is not contiguous: expected seq {position}, "
+                    f"got {record.seq} ({kind} sequence number "
+                    f"{min(record.seq, position)}; {len(ordered)} record(s) "
+                    "total)"
+                )
             store.write(record.key, record.value)
         return store

@@ -78,7 +78,7 @@ from repro.substrate.operations import (
 from repro.wire.codec import Decoder, Encoder
 from repro.wire.registry import register
 
-__all__ = ["OP_TAGS"]
+__all__ = ["OP_TAGS", "decode_wire_op", "encode_wire_op"]
 
 # -- update operations (nested inside OpChainEntry, not framed) --------------
 
@@ -126,6 +126,13 @@ def _decode_op(dec: Decoder) -> UpdateOperation:
     if tag == 4:
         return CounterAdd(dec.svarint())
     raise WireFormatError(f"unknown update-operation tag {tag}")
+
+
+# Public aliases: the durable write-ahead log (repro.durable) journals
+# user updates as wire-encoded records and needs exactly this op
+# encoding; re-exporting beats a parallel op-tag table drifting apart.
+encode_wire_op = _encode_op
+decode_wire_op = _decode_op
 
 
 # -- core protocol (ids 1-8) --------------------------------------------------

@@ -1,0 +1,10 @@
+"""R1 clean counterpart: malformed snapshot input raises, so the
+validation survives ``python -O``."""
+
+from repro.substrate.persistence import SnapshotError
+
+
+def decode_patch(offset: int, data: bytes) -> tuple[int, bytes]:
+    if offset < 0:
+        raise SnapshotError("negative patch offset in operation line")
+    return offset, data

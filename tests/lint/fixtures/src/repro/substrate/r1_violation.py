@@ -1,0 +1,10 @@
+"""R1 fixture: a bare assert validating snapshot input in substrate.
+
+Under ``python -O`` the malformed operation line sails through and
+corrupts whatever replica the snapshot is loaded into.
+"""
+
+
+def decode_patch(offset: int, data: bytes) -> tuple[int, bytes]:
+    assert offset >= 0, "patch offset must be non-negative"
+    return offset, data

@@ -31,6 +31,16 @@ VIOLATION_FIXTURES = {
     "R12": (FIXTURES / "src/repro/net/r12_violation.py", 3),
 }
 
+#: (rule id, fixture, min hits) pairs beyond each rule's primary pair —
+#: rules whose scope spans several subpackages get one pair per scope.
+EXTRA_VIOLATION_FIXTURES = [
+    ("R1", FIXTURES / "src/repro/substrate/r1_violation.py", 1),
+]
+
+EXTRA_CLEAN_FIXTURES = [
+    ("R1", FIXTURES / "src/repro/substrate/r1_clean.py"),
+]
+
 CLEAN_FIXTURES = {
     "R1": FIXTURES / "src/repro/core/r1_clean.py",
     "R2": FIXTURES / "r2_clean.py",
@@ -73,6 +83,29 @@ def test_violation_fixtures_trip_only_their_own_rule(rule_id):
 @pytest.mark.parametrize("rule_id", sorted(CLEAN_FIXTURES))
 def test_clean_fixture_is_clean_under_all_rules(rule_id):
     findings = lint_file(CLEAN_FIXTURES[rule_id], ALL_RULES)
+    assert findings == [], [v.render() for v in findings]
+
+
+@pytest.mark.parametrize(
+    "rule_id,path,min_hits",
+    EXTRA_VIOLATION_FIXTURES,
+    ids=lambda v: v.name if isinstance(v, Path) else str(v),
+)
+def test_extra_violation_fixture_trips_only_its_rule(rule_id, path, min_hits):
+    findings = lint_file(path, ALL_RULES)
+    hits = [v for v in findings if v.rule_id == rule_id]
+    assert len(hits) >= min_hits, [v.render() for v in findings]
+    foreign = {v.rule_id for v in findings} - {rule_id}
+    assert not foreign, f"{path.name} trips {foreign} in addition to {rule_id}"
+
+
+@pytest.mark.parametrize(
+    "rule_id,path",
+    EXTRA_CLEAN_FIXTURES,
+    ids=lambda v: v.name if isinstance(v, Path) else str(v),
+)
+def test_extra_clean_fixture_is_clean_under_all_rules(rule_id, path):
+    findings = lint_file(path, ALL_RULES)
     assert findings == [], [v.render() for v in findings]
 
 
@@ -191,12 +224,13 @@ class TestRuleScoping:
         findings = lint_source(source, "tests/core/test_node.py", ALL_RULES)
         assert not any(v.rule_id == "R1" for v in findings)
 
-    def test_r1_fires_in_all_three_protocol_subpackages(self):
+    def test_r1_fires_in_all_protocol_subpackages(self):
         source = "def f(x):\n    assert x > 0\n"
         for module in (
             "src/repro/core/node.py",
             "src/repro/cluster/simulation.py",
             "src/repro/baselines/lotus.py",
+            "src/repro/substrate/persistence.py",
         ):
             findings = lint_source(source, module, ALL_RULES)
             assert any(v.rule_id == "R1" for v in findings), module

@@ -83,6 +83,20 @@ class TestOpCodec:
         with pytest.raises(SnapshotError):
             decode_op("put not-hex")
 
+    def test_negative_patch_offset_rejected(self):
+        # int() parses "-3" happily; replaying it would corrupt the
+        # value instead of failing the load.
+        with pytest.raises(SnapshotError, match="negative patch offset"):
+            decode_op("patch -3 61616161")
+
+    def test_negative_truncate_length_rejected(self):
+        with pytest.raises(SnapshotError, match="negative truncate length"):
+            decode_op("truncate -4")
+
+    def test_zero_offset_and_length_still_accepted(self):
+        assert decode_op("patch 0 61") == BytePatch(0, b"a")
+        assert decode_op("truncate 0") == Truncate(0)
+
 
 class TestSnapshotRoundtrip:
     def test_fresh_node(self):
@@ -135,6 +149,66 @@ class TestSnapshotRoundtrip:
         recipient.pull_from(restored)
         assert recipient.read(ITEMS[0]) == b"v"
         assert restored.full_copies_shipped == 1
+
+
+class TestAtomicSave:
+    def test_failed_replace_preserves_prior_snapshot(self, tmp_path, monkeypatch):
+        """A write that dies before the atomic rename leaves the prior
+        snapshot byte-for-byte intact (no torn half-written file)."""
+        import repro.substrate.persistence as persistence
+
+        path = tmp_path / "node.snapshot"
+        old = EpidemicNode(0, 2, ITEMS)
+        old.update(ITEMS[0], Put(b"committed"))
+        save_node(old, path)
+        newer = busy_node()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(persistence.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_node(newer, path)
+        monkeypatch.undo()
+        restored = restore_node(path)
+        assert equivalent(old, restored)
+        assert restored.read(ITEMS[0]) == b"committed"
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        import repro.substrate.persistence as persistence
+
+        path = tmp_path / "node.snapshot"
+        save_node(EpidemicNode(0, 2, ITEMS), path)
+        monkeypatch.setattr(
+            persistence.os,
+            "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            save_node(busy_node(), path)
+        monkeypatch.undo()
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["node.snapshot"]
+
+    def test_save_replaces_existing_snapshot(self, tmp_path):
+        path = tmp_path / "node.snapshot"
+        save_node(EpidemicNode(0, 2, ITEMS), path)
+        newer = busy_node()
+        save_node(newer, path)
+        assert equivalent(newer, restore_node(path))
+
+
+class TestAuxiliaryDumpValidation:
+    def test_half_present_auxiliary_copy_rejected(self):
+        """An aux IVV without an aux value is internal corruption; the
+        dump must refuse (raising, not asserting — the check has to
+        survive ``python -O``) instead of writing a torn snapshot."""
+        node = busy_node()
+        entry = node.store[ITEMS[3]]
+        assert entry.has_auxiliary
+        entry.aux_value = None
+        with pytest.raises(SnapshotError, match="auxiliary"):
+            dump_node(node)
 
 
 class TestValidation:
