@@ -36,6 +36,10 @@ from repro.core.messages import (
     YouAreCurrent,
 )
 from repro.core.node import EpidemicNode
+from repro.core.validate import (
+    validate_propagation_reply,
+    validate_propagation_request,
+)
 from repro.errors import ProtocolStateError
 
 __all__ = ["PullOutcome", "PullSession", "respond"]
@@ -98,7 +102,11 @@ class PullSession:
             return PullOutcome(identical=True, adopted=(), conflicts=0)
         if not isinstance(answer, PropagationReply):
             raise ProtocolStateError("PropagationReply", answer)
-        outcome, _intra = self._node.accept_propagation(answer)
+        # The answer may have crossed a trust boundary (a TCP frame in
+        # repro.net, a replayed WAL record); adopt nothing a validator
+        # has not sanctioned (lint rule R13).
+        reply = validate_propagation_reply(answer, self._node)
+        outcome, _intra = self._node.accept_propagation(reply)
         return PullOutcome(
             identical=False,
             adopted=tuple(outcome.adopted),
@@ -112,4 +120,5 @@ def respond(
     """Source side of one pull: the paper's ``SendPropagation`` answer
     to ``request``.  Pure computation — the caller delivers the result
     back to the recipient however it likes."""
-    return node.send_propagation(request)
+    checked = validate_propagation_request(request, node)
+    return node.send_propagation(checked)

@@ -46,6 +46,7 @@ from repro.durable.records import (
     apply_record,
     decode_record,
     encode_record,
+    validate_record,
 )
 from repro.durable.wal import WriteAheadLog
 from repro.substrate.operations import UpdateOperation
@@ -188,6 +189,10 @@ class NodeJournal:
                 # and WAL-truncate; its effect is inside the snapshot.
                 self.records_skipped += 1
                 continue
+            # The log is disk state, not process state: validate every
+            # decoded record against the node as-of its replay point
+            # (R13) before it mutates anything.
+            record = validate_record(record, node)
             apply_record(node, record)
             replayed += 1
             last_lsn = lsn

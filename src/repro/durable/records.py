@@ -43,7 +43,14 @@ from typing import Union
 
 from repro.core.messages import OutOfBoundReply, PropagationReply
 from repro.core.node import EpidemicNode
-from repro.errors import WALError, WireFormatError
+from repro.core.validate import (
+    MAX_REPLICA_SET,
+    validate_item_name,
+    validate_oob_reply,
+    validate_propagation_reply,
+    validate_value,
+)
+from repro.errors import ValidationError, WALError, WireFormatError
 from repro.substrate.operations import UpdateOperation
 from repro.wire.codec import Decoder, Encoder, WireCodec
 from repro.wire.codecs import decode_wire_op, encode_wire_op
@@ -58,6 +65,7 @@ __all__ = [
     "apply_record",
     "decode_record",
     "encode_record",
+    "validate_record",
 ]
 
 #: Record-kind tags; stable on-disk constants like wire type ids.
@@ -182,6 +190,52 @@ def decode_record(body: bytes) -> tuple[int, WalRecord]:
             "WAL record body"
         )
     return lsn, record
+
+
+def validate_record(record: WalRecord, node: EpidemicNode) -> WalRecord:
+    """Trust-boundary check before replaying a decoded WAL record.
+
+    The log lives on disk, outside the process: a record that parses
+    (CRC and codec both happy) can still carry values no honest run of
+    this node ever journaled — an unknown item, a reply sized for a
+    different replica set, a shrinking "expansion".  Replay order
+    preserves state equivalence (the node's ``n_nodes``/DBVV during
+    replay match what they were when the record was journaled), so the
+    deep reply validators apply verbatim.  Registered as an R13
+    sanitizer; raises :class:`~repro.errors.ValidationError`.
+    """
+    if isinstance(record, WalUpdate):
+        if validate_item_name(record.item) not in node.store:
+            raise ValidationError(
+                f"update record names unknown item {record.item!r}"
+            )
+        if not isinstance(record.op, UpdateOperation):
+            raise ValidationError(
+                f"update record carries a {type(record.op).__name__}, "
+                "expected an UpdateOperation"
+            )
+    elif isinstance(record, WalAccept):
+        validate_propagation_reply(record.reply, node)
+    elif isinstance(record, WalOob):
+        validate_oob_reply(record.reply, node)
+    elif isinstance(record, WalResolve):
+        if validate_item_name(record.item) not in node.store:
+            raise ValidationError(
+                f"resolve record names unknown item {record.item!r}"
+            )
+        validate_value(record.value)
+    elif isinstance(record, WalExpand):
+        if not node.n_nodes <= record.n_nodes <= MAX_REPLICA_SET:
+            raise ValidationError(
+                f"expand record grows the replica set from {node.n_nodes} "
+                f"to {record.n_nodes} — shrink or past the "
+                f"{MAX_REPLICA_SET} cap"
+            )
+    else:
+        raise ValidationError(
+            f"unknown WAL record type {type(record).__name__}"
+        )
+    return record
 
 
 def apply_record(node: EpidemicNode, record: WalRecord) -> None:

@@ -142,6 +142,21 @@ class WireFormatError(ReplicationError, ValueError):
     """
 
 
+class ValidationError(ReplicationError, ValueError):
+    """A wire-decoded value failed trust-boundary validation.
+
+    Raised by :mod:`repro.core.validate` when a decoded frame, a client
+    operation payload, or a replayed WAL record carries a value the
+    protocol must not trust verbatim — a node id outside the replica
+    set, a sequence number past the gap budget, an oversized vector or
+    value, a tail that is not strictly increasing.  Distinct from
+    :class:`WireFormatError`: the bytes *parsed* fine, but the parsed
+    value violates a protocol invariant the state machine relies on.
+    Lint rule R13 requires every decode→state-mutation path to pass
+    through a validator that raises this error.
+    """
+
+
 class NetworkSessionError(ReplicationError):
     """A networked anti-entropy session could not complete.
 

@@ -44,6 +44,20 @@ R12 cancellation-safety     ``except`` clauses that swallow ``asyncio.
                             CancelledError`` (a cancelled task keeps
                             running) or erase the typed ``repro.errors``
                             taxonomy with a broad ``except Exception``
+R13 tainted-state-sink      wire-decoded / client-supplied values reaching
+                            protocol-state mutation (the R4 sink inventory:
+                            ``update``, ``accept_propagation``, journal
+                            ``record_*``, VV ``merge_from``, ...) without
+                            passing through a registered
+                            ``repro.core.validate`` sanitizer
+R14 tainted-allocation      wire-decoded integers driving ``range`` /
+                            ``readexactly`` / ``bytearray`` / ``*`` sizing
+                            with no cap comparison first — a hostile length
+                            prefix as a memory bomb
+R15 swallowed-validation    validation/decode failures silently dropped
+                            (``except ValueError: pass``) or clamped
+                            (``min(tainted, cap)``) instead of raising the
+                            typed ``ValidationError``/``WireFormatError``
 ==  ======================  ==================================================
 
 Run it over the tree with ``python -m repro.lint src tests benchmarks``.
@@ -58,7 +72,11 @@ under the pseudo rule id ``PRAGMA`` and fails the run.
 
 R10's underlying await-point control-flow analysis (per-function flow
 over statement ASTs, with ``async with``-lock guard regions) lives in
-:mod:`repro.lint.asyncflow` and is reusable by future rules.
+:mod:`repro.lint.asyncflow` and is reusable by future rules.  R13–R15
+share the interprocedural taint-dataflow engine in
+:mod:`repro.lint.taint`: sources are the wire decoders and client-op
+payloads, sinks are the R4 protocol-state mutators, and the only thing
+that clears taint is the *result* of a sanctioned ``validate_*`` call.
 """
 
 from __future__ import annotations

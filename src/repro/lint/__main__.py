@@ -13,11 +13,19 @@ Exit status 0 when both passes are clean, 1 when any rule fires, a file
 fails to parse, or a stale pragma is found, and 2 on usage errors or an
 internal linter crash (so CI can tell "the code is bad" from "the
 linter is bad").
+
+``--format`` selects the findings document written to stdout: ``text``
+(one ``path:line:col: ID message`` line per finding, the default),
+``json`` (a single object with a ``findings`` array, for CI
+annotation), or ``sarif`` (a minimal SARIF 2.1.0 log for code-scanning
+upload).  The summary line always goes to stderr and the exit codes
+are identical across formats.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -53,6 +61,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the stale-pragma audit pass",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="findings document written to stdout (default: text)",
+    )
     return parser
 
 
@@ -65,6 +79,85 @@ def _per_rule_summary(violations: Sequence[Violation]) -> str:
     known = [rid for rid in order if rid in counts]
     extra = sorted(set(counts) - set(order))
     return " ".join(f"{rid}:{counts[rid]}" for rid in known + extra)
+
+
+def _rule_summaries() -> dict[str, str]:
+    summaries = {rule.rule_id: rule.summary for rule in ALL_RULES}
+    summaries["PARSE"] = "file failed to parse"
+    summaries["PRAGMA"] = "suppression pragma suppresses nothing"
+    return summaries
+
+
+def _as_json(violations: Sequence[Violation], n_files: int) -> str:
+    return json.dumps(
+        {
+            "files_checked": n_files,
+            "findings": [
+                {
+                    "rule": v.rule_id,
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+        },
+        indent=2,
+    )
+
+
+def _as_sarif(violations: Sequence[Violation]) -> str:
+    """Minimal SARIF 2.1.0 log — one run, one result per finding."""
+    summaries = _rule_summaries()
+    fired = sorted({v.rule_id for v in violations})
+    return json.dumps(
+        {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro.lint",
+                            "rules": [
+                                {
+                                    "id": rid,
+                                    "shortDescription": {
+                                        "text": summaries.get(rid, rid)
+                                    },
+                                }
+                                for rid in fired
+                            ],
+                        }
+                    },
+                    "results": [
+                        {
+                            "ruleId": v.rule_id,
+                            "level": "error",
+                            "message": {"text": v.message},
+                            "locations": [
+                                {
+                                    "physicalLocation": {
+                                        "artifactLocation": {"uri": v.path},
+                                        "region": {
+                                            "startLine": v.line,
+                                            "startColumn": v.col,
+                                        },
+                                    }
+                                }
+                            ],
+                        }
+                        for v in violations
+                    ],
+                }
+            ],
+        },
+        indent=2,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -102,8 +195,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 2
 
-    for violation in violations:
-        print(violation.render())
+    if args.format == "json":
+        print(_as_json(violations, len(files)))
+    elif args.format == "sarif":
+        print(_as_sarif(violations))
+    else:
+        for violation in violations:
+            print(violation.render())
     if violations:
         print(
             f"{len(violations)} violation(s) in {len(files)} file(s) "

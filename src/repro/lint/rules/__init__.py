@@ -24,6 +24,9 @@ from repro.lint.rules.r9_blocking_async import BlockingAsyncRule
 from repro.lint.rules.r10_await_atomicity import AwaitAtomicityRule
 from repro.lint.rules.r11_tracked_tasks import TrackedTasksRule
 from repro.lint.rules.r12_cancellation import CancellationSafetyRule
+from repro.lint.rules.r13_taint_sinks import TaintedStateSinkRule
+from repro.lint.rules.r14_alloc_bounds import TaintedAllocationRule
+from repro.lint.rules.r15_swallowed_validation import SwallowedValidationRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
@@ -41,6 +44,9 @@ ALL_RULES: tuple[LintRule, ...] = (
     AwaitAtomicityRule(),
     TrackedTasksRule(),
     CancellationSafetyRule(),
+    TaintedStateSinkRule(),
+    TaintedAllocationRule(),
+    SwallowedValidationRule(),
 )
 
 

@@ -1,0 +1,45 @@
+"""R14: no tainted integer drives an allocation, range, or loop bound.
+
+A forged length prefix or element count must be rejected *before* it
+sizes anything: a decoder that runs ``range(dec.uvarint())`` or
+``reader.readexactly(length)`` on a raw wire integer hands an attacker
+an O(2**64) memory/CPU blowup for a ten-byte frame.  The taint engine
+flags TAINTED integers reaching ``range``/``readexactly``/``bytearray``
+or an allocation-sized multiplication; a value checked against a cap
+(``if n > MAX_...: raise``, or read via ``Decoder.count()``) is CAPPED
+and passes.
+
+Scoped to the byte-handling layers: ``repro.wire``, ``repro.net``,
+``repro.durable``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileScope, LintRule, Violation
+from repro.lint.taint import analyze_module
+
+
+class TaintedAllocationRule(LintRule):
+    rule_id = "R14"
+    name = "tainted-allocation"
+    summary = (
+        "decoded integers must be cap-checked before sizing an "
+        "allocation, range, or loop"
+    )
+
+    def applies_to(self, scope: FileScope) -> bool:
+        return scope.in_subpackage("wire", "net", "durable")
+
+    def check(self, tree: ast.Module, scope: FileScope) -> Iterator[Violation]:
+        report = analyze_module(tree, scope)
+        for finding in report.of_kind("alloc"):
+            yield Violation(
+                self.rule_id,
+                scope.posix,
+                finding.line,
+                finding.col + 1,
+                finding.detail,
+            )

@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 
 from repro.errors import NetworkSessionError, WireFormatError
+from repro.wire.codec import MAX_FRAME_LEN
 from repro.wire.varint import write_uvarint
 
 __all__ = [
@@ -44,8 +45,10 @@ MAGIC = 0xE95
 #: Bumped on any incompatible change to framing or the preamble.
 PROTOCOL_VERSION = 1
 #: Upper bound on a single frame/blob; a malformed length prefix must
-#: not make the reader allocate gigabytes.
-MAX_FRAME_BYTES = 1 << 26
+#: not make the reader allocate gigabytes.  Aliases the codec-level cap
+#: so the stream reader and :meth:`WireCodec.decode` reject the same
+#: forgeries at the same budget.
+MAX_FRAME_BYTES = MAX_FRAME_LEN
 
 _MAX_VARINT_BYTES = 10
 

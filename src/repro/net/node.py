@@ -44,10 +44,18 @@ from repro.cluster.scheduler import PeerSelector, RandomSelector
 from repro.core.node import EpidemicNode
 from repro.core.messages import PropagationReply, PropagationRequest
 from repro.core.session import PullOutcome, PullSession, respond
+from repro.core.validate import (
+    validate_item_name,
+    validate_node_id,
+    validate_propagation_request,
+    validate_session_answer,
+    validate_value,
+)
 from repro.durable import NodeJournal
 from repro.errors import (
     NetworkSessionError,
     ReplicationError,
+    ValidationError,
     WireFormatError,
 )
 from repro.net.config import NodeConfig
@@ -214,7 +222,8 @@ class NetNode:
                         f"{type(message).__name__}; only "
                         "PropagationRequest is served"
                     )
-                answer = respond(self.node, message)
+                checked = validate_propagation_request(message, self.node)
+                answer = respond(self.node, checked)
                 out = codec.encode(self.node_id, peer_id, answer)
                 self._count_frame(answer, out)
                 # The served-session transition is complete *before* the
@@ -225,7 +234,7 @@ class NetNode:
                 await write_frame(writer, out)
         except ConnectionClosed:
             logger.info("peer %d disconnected", peer_id)
-        except WireFormatError as exc:
+        except (WireFormatError, ValidationError) as exc:
             logger.warning("peer %d connection dropped: %s", peer_id, exc)
         finally:
             writer.close()
@@ -274,6 +283,11 @@ class NetNode:
                 answer = link.codec.decode(
                     peer_id, self.node_id, answer_frame
                 )
+                # The frame came off a socket: nothing it claims is
+                # trusted until validated (R13) — the session driver
+                # deep-checks the reply body again, but the source-id
+                # match against the dialed peer only this layer knows.
+                answer = validate_session_answer(answer, peer_id, self.node)
                 outcome = pull.conclude(answer)
                 if self.journal is not None and isinstance(
                     answer, PropagationReply
@@ -390,8 +404,11 @@ class NetNode:
                 )
                 if response.get("bye"):
                     break
-        except (ConnectionClosed, WireFormatError):
-            pass
+        except (ConnectionClosed, WireFormatError) as exc:
+            # Clients may hang up whenever they like, but a malformed
+            # blob is still worth a trace (R15): a probing client must
+            # be visible in the logs, not indistinguishable from silence.
+            logger.debug("client connection ended: %s", exc)
         finally:
             writer.close()
 
@@ -402,19 +419,24 @@ class NetNode:
         if op == "ping":
             return {"ok": True, "node": self.node_id}
         if op == "put":
-            value = bytes.fromhex(request["value"])
-            self.node.update(request["item"], Put(value))
+            # Client JSON is as untrusted as a wire frame (R13): the
+            # item name and value pass validators before the state
+            # machine or the journal sees them.
+            item = validate_item_name(request["item"])
+            value = validate_value(bytes.fromhex(request["value"]))
+            self.node.update(item, Put(value))
             if self.journal is not None:
                 # Journaled after the node accepted it; the "ok" reply
                 # is written only after the group commit returns, so an
                 # acknowledged put survives a kill -9.
-                self.journal.record_update(request["item"], Put(value))
+                self.journal.record_update(item, Put(value))
                 self.journal.commit(self.node)
             return {"ok": True}
         if op == "get":
             return {"ok": True, "value": self.node.read(request["item"]).hex()}
         if op == "sync":
-            outcome = await self.sync_with(int(request["peer"]))
+            peer = validate_node_id(int(request["peer"]), self.n_nodes)
+            outcome = await self.sync_with(peer)
             return {
                 "ok": True,
                 "identical": outcome.identical,

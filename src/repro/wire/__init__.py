@@ -29,6 +29,8 @@ __all__ = [
     "WIRE_ENV_VAR",
     "Decoder",
     "Encoder",
+    "MAX_FRAME_LEN",
+    "MAX_SEQUENCE_ITEMS",
     "MessageCodec",
     "WireCodec",
     "codec_for_class",
@@ -56,7 +58,13 @@ def wire_enabled(explicit: bool | None = None) -> bool:
     return os.environ.get(WIRE_ENV_VAR, "").strip().lower() in _TRUTHY
 
 
-from repro.wire.codec import Decoder, Encoder, WireCodec  # noqa: E402
+from repro.wire.codec import (  # noqa: E402
+    MAX_FRAME_LEN,
+    MAX_SEQUENCE_ITEMS,
+    Decoder,
+    Encoder,
+    WireCodec,
+)
 from repro.wire.registry import (  # noqa: E402
     MessageCodec,
     codec_for_class,

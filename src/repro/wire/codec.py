@@ -49,10 +49,22 @@ from repro.wire.varint import (
     write_uvarint,
 )
 
-__all__ = ["Decoder", "Encoder", "WireCodec"]
+__all__ = ["Decoder", "Encoder", "MAX_FRAME_LEN", "MAX_SEQUENCE_ITEMS", "WireCodec"]
 
 _FULL_VV = 0x00
 _DELTA_VV = 0x01
+
+#: Hard cap on a single frame's declared payload length.  A forged
+#: length prefix is rejected *before* anything is sized from it — a
+#: ten-byte frame claiming 2**60 payload bytes must cost nothing.  The
+#: stream framing in :mod:`repro.net.framing` aliases this same cap.
+MAX_FRAME_LEN = 1 << 26
+
+#: Hard cap on any decoded element count (vector components, shipped
+#: records, items, batch entries).  Every count travels as a uvarint;
+#: :meth:`Decoder.count` bounds it before a loop or allocation sees it.
+#: Generous: real counts are bounded by items times nodes.
+MAX_SEQUENCE_ITEMS = 1 << 20
 
 
 class Encoder:
@@ -134,6 +146,20 @@ class Decoder:
         value, self.pos = read_svarint(self.data, self.pos)
         return value
 
+    def count(self, cap: int = MAX_SEQUENCE_ITEMS) -> int:
+        """An element count, bounded before anything is sized from it.
+
+        Every repeated-field loop in :mod:`repro.wire.codecs` reads its
+        count through here (lint rule R14 enforces it): a forged count
+        past ``cap`` raises instead of driving a ``range``/allocation.
+        """
+        value = self.uvarint()
+        if value > cap:
+            raise WireFormatError(
+                f"declared element count {value} exceeds the {cap} cap"
+            )
+        return value
+
     def bytes_(self) -> bytes:
         length = self.uvarint()
         end = self.pos + length
@@ -163,7 +189,7 @@ class Decoder:
         codec = self._codec
         link = (self._src, self._dst)
         if tag == _FULL_VV:
-            n = self.uvarint()
+            n = self.count()
             counts = tuple(self.uvarint() for _ in range(n))
         elif tag == _DELTA_VV:
             base = (
@@ -179,7 +205,7 @@ class Decoder:
                 )
             mutable = list(base)
             index = -1
-            for _ in range(self.uvarint()):
+            for _ in range(self.count()):
                 index += self.uvarint() + 1
                 if index >= len(mutable):
                     raise WireFormatError(
@@ -242,6 +268,11 @@ class WireCodec:
         trailing bytes, and unknown type ids all raise
         :class:`WireFormatError`."""
         length, start = read_uvarint(frame, 0)
+        if length > MAX_FRAME_LEN:
+            raise WireFormatError(
+                f"frame length prefix {length} exceeds the "
+                f"{MAX_FRAME_LEN}-byte cap"
+            )
         if start + length != len(frame):
             raise WireFormatError(
                 f"frame length prefix says {length} payload byte(s), "

@@ -183,10 +183,10 @@ def _encode_propagation_reply(enc: Encoder, msg: PropagationReply) -> None:
 def _decode_propagation_reply(dec: Decoder) -> PropagationReply:
     source = dec.uvarint()
     tails = tuple(
-        tuple((dec.string(), dec.uvarint()) for _ in range(dec.uvarint()))
-        for _ in range(dec.uvarint())
+        tuple((dec.string(), dec.uvarint()) for _ in range(dec.count()))
+        for _ in range(dec.count())
     )
-    items = tuple(dec.message() for _ in range(dec.uvarint()))
+    items = tuple(dec.message() for _ in range(dec.count()))
     return PropagationReply(source, tails, items)
 
 
@@ -234,7 +234,7 @@ def _encode_delta_payload(enc: Encoder, msg: DeltaPayload) -> None:
 def _decode_delta_payload(dec: Decoder) -> DeltaPayload:
     name = dec.string()
     ivv = dec.vv(f"ivv:{name}")
-    ops = tuple(_decode_op_chain_entry(dec) for _ in range(dec.uvarint()))
+    ops = tuple(_decode_op_chain_entry(dec) for _ in range(dec.count()))
     return DeltaPayload(name, ivv, ops)
 
 
@@ -261,7 +261,7 @@ def _encode_push_batch(enc: Encoder, msg: _PushBatch) -> None:
 
 def _decode_push_batch(dec: Decoder) -> _PushBatch:
     source = dec.uvarint()
-    records = tuple(_decode_update_record(dec) for _ in range(dec.uvarint()))
+    records = tuple(_decode_update_record(dec) for _ in range(dec.count()))
     return _PushBatch(source, records)
 
 
@@ -288,7 +288,7 @@ def _encode_log_push(enc: Encoder, msg: _LogPush) -> None:
 
 def _decode_log_push(dec: Decoder) -> _LogPush:
     source = dec.uvarint()
-    records = tuple(_decode_am_record(dec) for _ in range(dec.uvarint()))
+    records = tuple(_decode_am_record(dec) for _ in range(dec.count()))
     return _LogPush(source, records)
 
 
@@ -301,7 +301,7 @@ def _encode_vector_exchange(enc: Encoder, msg: _VectorExchange) -> None:
 
 def _decode_vector_exchange(dec: Decoder) -> _VectorExchange:
     source = dec.uvarint()
-    received = tuple(dec.uvarint() for _ in range(dec.uvarint()))
+    received = tuple(dec.uvarint() for _ in range(dec.count()))
     return _VectorExchange(source, received)
 
 
@@ -316,7 +316,7 @@ def _encode_repair_request(enc: Encoder, msg: _RepairRequest) -> None:
 def _decode_repair_request(dec: Decoder) -> _RepairRequest:
     requester = dec.uvarint()
     gaps = tuple(
-        (dec.uvarint(), dec.uvarint()) for _ in range(dec.uvarint())
+        (dec.uvarint(), dec.uvarint()) for _ in range(dec.count())
     )
     return _RepairRequest(requester, gaps)
 
@@ -343,7 +343,7 @@ def _encode_ivv_list_reply(enc: Encoder, msg: _IVVListReply) -> None:
 def _decode_ivv_list_reply(dec: Decoder) -> _IVVListReply:
     source = dec.uvarint()
     ivvs = []
-    for _ in range(dec.uvarint()):
+    for _ in range(dec.count()):
         name = dec.string()
         ivvs.append((name, dec.vv(f"pivv:{name}")))
     return _IVVListReply(source, tuple(ivvs))
@@ -358,7 +358,7 @@ def _encode_item_fetch(enc: Encoder, msg: _ItemFetch) -> None:
 
 def _decode_item_fetch(dec: Decoder) -> _ItemFetch:
     requester = dec.uvarint()
-    names = tuple(dec.string() for _ in range(dec.uvarint()))
+    names = tuple(dec.string() for _ in range(dec.count()))
     return _ItemFetch(requester, names)
 
 
@@ -371,7 +371,7 @@ def _encode_item_shipment(enc: Encoder, msg: _ItemShipment) -> None:
 
 def _decode_item_shipment(dec: Decoder) -> _ItemShipment:
     source = dec.uvarint()
-    payloads = tuple(_decode_item_payload(dec) for _ in range(dec.uvarint()))
+    payloads = tuple(_decode_item_payload(dec) for _ in range(dec.count()))
     return _ItemShipment(source, payloads)
 
 
@@ -399,7 +399,7 @@ def _decode_change_list(dec: Decoder) -> _ChangeList:
     source = dec.uvarint()
     entries = tuple(
         (dec.string(), dec.uvarint(), dec.svarint())
-        for _ in range(dec.uvarint())
+        for _ in range(dec.count())
     )
     return _ChangeList(source, entries)
 
@@ -413,7 +413,7 @@ def _encode_doc_fetch(enc: Encoder, msg: _DocFetch) -> None:
 
 def _decode_doc_fetch(dec: Decoder) -> _DocFetch:
     requester = dec.uvarint()
-    names = tuple(dec.string() for _ in range(dec.uvarint()))
+    names = tuple(dec.string() for _ in range(dec.count()))
     return _DocFetch(requester, names)
 
 
@@ -431,7 +431,7 @@ def _decode_doc_shipment(dec: Decoder) -> _DocShipment:
     source = dec.uvarint()
     docs = tuple(
         (dec.string(), dec.bytes_(), dec.uvarint(), dec.svarint())
-        for _ in range(dec.uvarint())
+        for _ in range(dec.count())
     )
     return _DocShipment(source, docs)
 
@@ -470,11 +470,11 @@ def _encode_gossip_message(enc: Encoder, msg: _GossipMessage) -> None:
 
 def _decode_gossip_message(dec: Decoder) -> _GossipMessage:
     source = dec.uvarint()
-    n = dec.uvarint()
+    n = dec.count()
     table = tuple(
         tuple(dec.uvarint() for _ in range(n)) for _ in range(n)
     )
-    records = tuple(_decode_gossip_record(dec) for _ in range(dec.uvarint()))
+    records = tuple(_decode_gossip_record(dec) for _ in range(dec.count()))
     return _GossipMessage(source, table, records)
 
 

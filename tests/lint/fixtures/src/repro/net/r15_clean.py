@@ -1,0 +1,25 @@
+"""R15 clean twin: decode and validation failures either propagate or
+are logged — never silently discarded, never clamped into range."""
+
+import logging
+
+from repro.errors import WireFormatError
+
+logger = logging.getLogger(__name__)
+
+
+def surface_bad_frame(codec, frame):
+    try:
+        return codec.decode(frame)
+    except WireFormatError as exc:
+        logger.warning("dropping malformed frame: %s", exc)
+        raise
+
+
+def reject_over_cap(codec, frame, max_items):
+    message = codec.decode(frame)
+    if message.count > max_items:
+        raise WireFormatError(
+            f"element count {message.count} exceeds {max_items}"
+        )
+    return message.count

@@ -1,0 +1,14 @@
+"""R15 violation: validation failures silently dropped or clamped
+instead of surfacing as typed errors."""
+
+
+def swallow_bad_frame(codec, frame):
+    try:
+        return codec.decode(frame)
+    except ValueError:
+        pass
+
+
+def clamp_count(codec, frame, max_items):
+    message = codec.decode(frame)
+    return min(message.count, max_items)

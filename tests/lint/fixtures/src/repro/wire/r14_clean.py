@@ -1,0 +1,26 @@
+"""R14 clean twin: element counts go through the capped
+``Decoder.count()`` reader, and raw lengths are bounds-checked (raising
+a typed error) before they size any allocation."""
+
+from repro.errors import WireFormatError
+
+
+def decode_names(dec):
+    names = []
+    for _ in range(dec.count()):
+        names.append(dec.string())
+    return names
+
+
+def read_body(dec, max_len):
+    length = dec.uvarint()
+    if length > max_len:
+        raise WireFormatError(f"body length {length} exceeds {max_len}")
+    return bytearray(length)
+
+
+def pad(dec, max_pad):
+    n = dec.uvarint()
+    if n > max_pad:
+        raise WireFormatError(f"pad length {n} exceeds {max_pad}")
+    return b"\x00" * n

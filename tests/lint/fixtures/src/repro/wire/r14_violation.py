@@ -1,0 +1,20 @@
+"""R14 violation: wire-decoded integers size allocations with no cap
+check first — a hostile length prefix becomes a memory bomb."""
+
+
+def decode_names(dec):
+    n = dec.uvarint()
+    names = []
+    for _ in range(n):
+        names.append(dec.string())
+    return names
+
+
+def read_body(dec):
+    length = dec.uvarint()
+    return bytearray(length)
+
+
+def pad(dec):
+    n = dec.uvarint()
+    return b"\x00" * n

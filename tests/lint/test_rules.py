@@ -29,6 +29,9 @@ VIOLATION_FIXTURES = {
     "R10": (FIXTURES / "src/repro/net/r10_violation.py", 2),
     "R11": (FIXTURES / "src/repro/net/r11_violation.py", 2),
     "R12": (FIXTURES / "src/repro/net/r12_violation.py", 3),
+    "R13": (FIXTURES / "src/repro/net/r13_violation.py", 2),
+    "R14": (FIXTURES / "src/repro/wire/r14_violation.py", 3),
+    "R15": (FIXTURES / "src/repro/net/r15_violation.py", 2),
 }
 
 #: (rule id, fixture, min hits) pairs beyond each rule's primary pair —
@@ -54,6 +57,9 @@ CLEAN_FIXTURES = {
     "R10": FIXTURES / "src/repro/net/r10_clean.py",
     "R11": FIXTURES / "src/repro/net/r11_clean.py",
     "R12": FIXTURES / "src/repro/net/r12_clean.py",
+    "R13": FIXTURES / "src/repro/net/r13_clean.py",
+    "R14": FIXTURES / "src/repro/wire/r14_clean.py",
+    "R15": FIXTURES / "src/repro/net/r15_clean.py",
 }
 
 
