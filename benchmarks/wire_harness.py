@@ -116,32 +116,41 @@ def bench_throughput(frames: int | None = None) -> dict[str, Any]:
     messages = _reply_frame_messages()
 
     def run(delta: bool) -> dict[str, Any]:
-        codec = WireCodec(delta_vv=delta)
+        # Best of three timed passes: one pass is at the mercy of CPU
+        # frequency ramp-up and scheduler noise, and the figure we want
+        # to pin (and gate on in CI) is the codec's capability, not the
+        # machine's mood during the first pass.
+        best_elapsed = float("inf")
         total_bytes = 0
-        t0 = time.perf_counter()
-        for _ in range(frames):
-            for message in messages:
-                frame = codec.encode(0, 1, message)
-                total_bytes += len(frame)
-                decoded = codec.decode(0, 1, frame)
-            assert decoded is not None
-        elapsed = time.perf_counter() - t0
+        for _ in range(3):
+            codec = WireCodec(delta_vv=delta)
+            total_bytes = 0
+            t0 = time.perf_counter()
+            for _ in range(frames):
+                for message in messages:
+                    frame = codec.encode(0, 1, message)
+                    total_bytes += len(frame)
+                    decoded = codec.decode(0, 1, frame)
+                assert decoded is not None
+            best_elapsed = min(best_elapsed, time.perf_counter() - t0)
         return {
             "frames": frames * len(messages),
             "total_mb": round(total_bytes / 1e6, 3),
-            "roundtrip_mb_s": round(total_bytes / 1e6 / elapsed, 1),
+            "roundtrip_mb_s": round(total_bytes / 1e6 / best_elapsed, 1),
         }
 
     # Small-frame figure: metadata-only session traffic where per-field
     # overhead, not byte copying, is the cost.
-    small_codec = WireCodec()
     small = [PropagationRequest(1, _vector(SESSION_NODES, 1)), YouAreCurrent(1)]
     count = frames * 50
-    t0 = time.perf_counter()
-    for i in range(count):
-        message = small[i % 2]
-        small_codec.decode(0, 1, small_codec.encode(0, 1, message))
-    small_elapsed = time.perf_counter() - t0
+    small_elapsed = float("inf")
+    for _ in range(3):
+        small_codec = WireCodec()
+        t0 = time.perf_counter()
+        for i in range(count):
+            message = small[i % 2]
+            small_codec.decode(0, 1, small_codec.encode(0, 1, message))
+        small_elapsed = min(small_elapsed, time.perf_counter() - t0)
 
     return {
         "payload_value_bytes": PAYLOAD_VALUE_SIZE,

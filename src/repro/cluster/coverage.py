@@ -77,10 +77,15 @@ class TransitiveCoverageTracker:
         self.history.append(SessionRecord(time, recipient, source))
         # Definition 4: everything the source had transitively
         # propagated from, the recipient now has too (plus the source).
-        self._knows[recipient] |= self._knows[source]
-        self._knows[recipient].add(source)
-        if self._covered_at is None and self.is_fully_covered():
-            self._covered_at = time
+        # A recipient that already knows every node can learn nothing
+        # more — skip the O(n) set union (the common case for every
+        # session after full coverage, e.g. quiescent rounds).
+        knows = self._knows[recipient]
+        if len(knows) < self.n_nodes:
+            knows |= self._knows[source]
+            knows.add(source)
+            if self._covered_at is None and self.is_fully_covered():
+                self._covered_at = time
 
     # -- queries ---------------------------------------------------------------
 

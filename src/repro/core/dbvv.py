@@ -24,6 +24,9 @@ auxiliary structures exist to make safe.
 
 from __future__ import annotations
 
+import operator
+from array import array
+
 from repro.core.version_vector import VersionVector
 from repro.metrics.counters import NULL_COUNTERS, OverheadCounters
 
@@ -67,13 +70,31 @@ class DatabaseVersionVector(VersionVector):
         non-negative; a negative delta means the caller broke that
         precondition and we fail fast rather than corrupt the DBVV.
         """
-        for l_idx, (old_count, new_count) in enumerate(zip(old_ivv, new_ivv)):
-            delta = new_count - old_count
-            if delta < 0:
-                raise ValueError(
-                    "absorb_item_copy called with a non-dominating new IVV "
-                    f"(component {l_idx}: {new_count} < {old_count})"
-                )
-            if delta:
-                self.increment(l_idx, delta)
-            counters.vv_components_touched += 1
+        old_counts = old_ivv._counts
+        new_counts = new_ivv._counts
+        counters.vv_components_touched += len(old_counts)
+        if new_counts is old_counts or new_counts == old_counts:
+            return
+        if any(map(operator.lt, new_counts, old_counts)):
+            # Cold path: rerun per-component only to name the culprit.
+            for l_idx, (old_count, new_count) in enumerate(
+                zip(old_counts, new_counts)
+            ):
+                if new_count < old_count:
+                    raise ValueError(
+                        "absorb_item_copy called with a non-dominating "
+                        f"new IVV (component {l_idx}: {new_count} < "
+                        f"{old_count})"
+                    )
+        # One fused C-level pass: V_il += v_jl(x) - v_il(x) for every l.
+        self._counts = array(
+            "Q",
+            map(
+                operator.add,
+                self._counts,
+                map(operator.sub, new_counts, old_counts),
+            ),
+        )
+        self._total = None
+        self._hash = None
+        self._tuple = None

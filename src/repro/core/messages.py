@@ -155,7 +155,7 @@ class PropagationReply:
     items: tuple[ItemPayload, ...]
 
     def record_count(self) -> int:
-        return sum(len(tail) for tail in self.tails)
+        return sum(map(len, self.tails))
 
     def wire_size(self) -> int:
         return (

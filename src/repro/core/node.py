@@ -254,11 +254,13 @@ class EpidemicNode:
 
         tails: list[tuple[tuple[str, int], ...]] = []
         selected: list[DataItem] = []
+        mine = self.dbvv.as_tuple()
+        theirs = remote.as_tuple()
         for k in range(self.n_nodes):  # pragma: full-scan one tail probe per log component; the request already ships an O(n) DBVV, so O(n) is the session floor (paper section 6)
-            if self.dbvv[k] > remote[k]:
-                records = self.log[k].tail_after(remote[k], self.counters)
-            else:
-                records = []
+            if mine[k] <= theirs[k]:
+                tails.append(())
+                continue
+            records = self.log[k].tail_after(theirs[k], self.counters)
             tails.append(tuple(record.pair() for record in records))
             for record in records:
                 entry = self.store[record.item]
@@ -624,6 +626,22 @@ class EpidemicNode:
         """
         self.log.check_invariants()
         self.aux_log.check_invariants()
+        # The version vectors' cached totals must agree with a
+        # from-scratch recomputation — the caches are maintained
+        # incrementally on the mutation hot paths, and a maintenance bug
+        # should surface at the session that introduced it, not as
+        # silent drift in whatever consumed the stale sum.
+        if self.dbvv.total() != self.dbvv.recompute_total():
+            raise InvariantViolation(
+                f"DBVV cached total {self.dbvv.total()} != recomputed "
+                f"{self.dbvv.recompute_total()} on node {self.node_id}"
+            )
+        for entry in self.store:
+            if entry.ivv.total() != entry.ivv.recompute_total():
+                raise InvariantViolation(
+                    f"IVV cached total for item {entry.name!r} diverged "
+                    f"from its components on node {self.node_id}"
+                )
         any_conflict = any(entry.in_conflict for entry in self.store)
         frozen = any_conflict or self.conflicts.count != 0
         if not frozen:

@@ -131,11 +131,17 @@ def validate_version_vector(vv: object, n_nodes: int, what: str = "vector") -> V
         raise ValidationError(
             f"{what} covers {len(vv)} nodes, local replica set has {n_nodes}"
         )
-    for k, count in enumerate(vv.as_tuple()):
-        if count > MAX_VV_COMPONENT:
-            raise ValidationError(
-                f"{what} component {k} is {count}, exceeds cap {MAX_VV_COMPONENT}"
-            )
+    # C-speed max() first; the Python loop only runs to name the
+    # offending component once a violation is certain.  This check is
+    # on the per-session hot path (every request carries a vector).
+    counts = vv.as_tuple()
+    if counts and max(counts) > MAX_VV_COMPONENT:
+        for k, count in enumerate(counts):
+            if count > MAX_VV_COMPONENT:
+                raise ValidationError(
+                    f"{what} component {k} is {count}, "
+                    f"exceeds cap {MAX_VV_COMPONENT}"
+                )
     return vv
 
 
@@ -229,6 +235,11 @@ def validate_propagation_reply(
             f"per-origin tails, local replica set has {node.n_nodes}"
         )
     for origin, tail in enumerate(reply.tails):
+        # Empty tails are the common case (only origins the recipient
+        # lags ship records) — an inline type check keeps the per-origin
+        # call out of the hot path.
+        if tail == ():
+            continue
         _validate_tail(tail, origin, node)
     for payload in reply.items:
         _validate_payload(payload, node)

@@ -58,14 +58,19 @@ R15 swallowed-validation    validation/decode failures silently dropped
                             (``except ValueError: pass``) or clamped
                             (``min(tainted, cap)``) instead of raising the
                             typed ``ValidationError``/``WireFormatError``
+R16 alloc-reuse             fresh ``VersionVector``/``bytearray`` allocation
+                            on per-round hot paths (round/session loop,
+                            encode direction) where a pooled buffer or
+                            in-place mutator exists
 ==  ======================  ==================================================
 
 Run it over the tree with ``python -m repro.lint src tests benchmarks``.
 Suppress a finding on one line with ``# lint: skip=<ID>`` (comma-
 separated for several) and a whole file with ``# lint: skip-file``;
-R7 findings are suppressed only by ``# pragma: full-scan <reason>``
-and R9 findings only by ``# pragma: blocking <reason>``, each with a
-non-empty reason.  Every suppression should carry a justifying
+R7 findings are suppressed only by ``# pragma: full-scan <reason>``,
+R9 findings only by ``# pragma: blocking <reason>``, and R16 findings
+only by ``# pragma: fresh-alloc <reason>``, each with a non-empty
+reason.  Every suppression should carry a justifying
 comment.  Each run also audits the suppressions themselves: a pragma
 whose line no longer produces the finding it suppresses is reported
 under the pseudo rule id ``PRAGMA`` and fails the run.

@@ -56,6 +56,12 @@ _PRAGMA_FULL_SCAN_BARE = re.compile(r"#\s*pragma:\s*full-scan\s*(?:#|$)")
 #: ``full-scan`` so the audit can demand the missing reason.
 _PRAGMA_BLOCKING = re.compile(r"#\s*pragma:\s*blocking\s+(\S.*)")
 _PRAGMA_BLOCKING_BARE = re.compile(r"#\s*pragma:\s*blocking\s*(?:#|$)")
+#: The ``pragma: fresh-alloc <reason>`` comment — suppresses R16 only,
+#: and only with a non-empty reason: an unexplained allocation on a
+#: per-round hot path is exactly what R16 is for.  Same bare-form
+#: handling as the pragmas above.
+_PRAGMA_FRESH_ALLOC = re.compile(r"#\s*pragma:\s*fresh-alloc\s+(\S.*)")
+_PRAGMA_FRESH_ALLOC_BARE = re.compile(r"#\s*pragma:\s*fresh-alloc\s*(?:#|$)")
 
 
 @dataclass(frozen=True)
@@ -176,6 +182,8 @@ def _suppressed_rules(line: str) -> frozenset[str]:
         suppressed.add("R7")
     if _PRAGMA_BLOCKING.search(line):
         suppressed.add("R9")
+    if _PRAGMA_FRESH_ALLOC.search(line):
+        suppressed.add("R16")
     return frozenset(suppressed)
 
 
@@ -321,6 +329,16 @@ def audit_pragmas(
                 "`pragma: blocking` without a reason does not "
                 "suppress; state why blocking here is intended "
                 "(`# pragma: blocking <reason>`)",
+            ),
+            (
+                "R16",
+                _PRAGMA_FRESH_ALLOC,
+                _PRAGMA_FRESH_ALLOC_BARE,
+                "stale `pragma: fresh-alloc`: this line no longer "
+                "allocates on a per-round hot path; drop the pragma",
+                "`pragma: fresh-alloc` without a reason does not "
+                "suppress; state why the allocation is inherent "
+                "(`# pragma: fresh-alloc <reason>`)",
             ),
         ):
             if rule_id not in selected:

@@ -27,6 +27,7 @@ from repro.lint.rules.r12_cancellation import CancellationSafetyRule
 from repro.lint.rules.r13_taint_sinks import TaintedStateSinkRule
 from repro.lint.rules.r14_alloc_bounds import TaintedAllocationRule
 from repro.lint.rules.r15_swallowed_validation import SwallowedValidationRule
+from repro.lint.rules.r16_alloc_reuse import AllocReuseRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
@@ -47,6 +48,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     TaintedStateSinkRule(),
     TaintedAllocationRule(),
     SwallowedValidationRule(),
+    AllocReuseRule(),
 )
 
 

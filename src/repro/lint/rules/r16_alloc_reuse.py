@@ -1,0 +1,123 @@
+"""R16 — fresh allocations on per-round hot paths with a reuse API.
+
+**Why.**  The round loop's cost budget is carried by object reuse, not
+just by algorithmic shape: the quiescent-pair fast path replays
+prebuilt stamps, the wire codec leases pooled :class:`Encoder` buffers
+(``WireCodec._acquire``), and :class:`~repro.core.version_vector.
+VersionVector` exposes in-place mutators (``merge_from``,
+``increment``) precisely so steady-state rounds allocate nothing.  One
+innocent ``VersionVector(n)`` or ``bytearray()`` inside ``run_round``
+re-introduces a per-session allocation (and the GC pressure that comes
+with it) that no test fails on — the benchmarks just quietly regress
+until the CI bench gate trips, long after the offending line merged.
+This rule names the line instead.
+
+**Rule.**  Inside the per-round hot-path functions of
+``repro.cluster`` and ``repro.wire`` (the simulator's round/session
+loop and the codec's encode path — see ``HOT_PATH_NAMES``):
+
+* ``repro.cluster`` code may not construct a fresh ``VersionVector``
+  (constructor, ``.zero``, ``.from_counts``) — hoist the scratch vector
+  out of the loop and reuse it with the in-place APIs; and
+* neither subpackage may allocate a fresh ``bytearray`` — lease a
+  pooled encoder buffer instead.
+
+Decode-side construction is exempt by scoping: a decoded message has
+to materialize a new vector for the recipient; only the encode/replay
+direction has a documented reuse API.  An allocation that is inherent
+(e.g. a cold fallback that never runs in steady state) is annotated in
+place with ``# pragma: fresh-alloc <reason>`` — the reason is
+mandatory, and the pragma audit flags pragmas whose line no longer
+allocates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileScope, LintRule, Violation
+
+__all__ = ["AllocReuseRule", "HOT_PATH_NAMES"]
+
+#: Functions on the per-round critical path: the simulator's round and
+#: session loop (including the fast-path stamp machinery and network
+#: delivery) and the codec's encode direction.
+HOT_PATH_NAMES = frozenset(
+    {
+        # repro.cluster — executed once per round / per session.
+        "run_round",
+        "_run_session",
+        "_valid_stamp",
+        "_record_stamp",
+        "_maybe_record_uniform",
+        "deliver",
+        # repro.wire — executed once per frame on the encode direction.
+        "encode",
+        "_assemble_frame",
+        "vv",
+    }
+)
+
+#: ``VersionVector`` classmethod constructors (the plain call is
+#: matched separately).
+_VV_FACTORIES = frozenset({"zero", "from_counts"})
+
+
+def _fresh_vv(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "VersionVector"
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr in _VV_FACTORIES
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "VersionVector"
+    )
+
+
+def _fresh_bytearray(call: ast.Call) -> bool:
+    return isinstance(call.func, ast.Name) and call.func.id == "bytearray"
+
+
+class AllocReuseRule(LintRule):
+    rule_id = "R16"
+    name = "alloc-reuse"
+    summary = (
+        "per-round hot paths reuse scratch state: no fresh "
+        "VersionVector/bytearray where a pooled/in-place API exists"
+    )
+
+    def applies_to(self, scope: FileScope) -> bool:
+        return scope.in_subpackage("cluster", "wire")
+
+    def check(self, tree: ast.Module, scope: FileScope) -> Iterator[Violation]:
+        check_vv = scope.in_subpackage("cluster")
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in HOT_PATH_NAMES:
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                if check_vv and _fresh_vv(sub):
+                    yield self.violation(
+                        scope,
+                        sub,
+                        f"`{node.name}` constructs a fresh VersionVector "
+                        "on the per-round path; hoist the scratch vector "
+                        "and reuse it in place (`merge_from`, "
+                        "`increment`), or annotate an inherent "
+                        "allocation with `# pragma: fresh-alloc <reason>`",
+                    )
+                elif _fresh_bytearray(sub):
+                    yield self.violation(
+                        scope,
+                        sub,
+                        f"`{node.name}` allocates a fresh bytearray on "
+                        "the encode hot path; lease a pooled encoder "
+                        "buffer (`WireCodec._acquire`) instead, or "
+                        "annotate an inherent allocation with "
+                        "`# pragma: fresh-alloc <reason>`",
+                    )

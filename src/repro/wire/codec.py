@@ -41,7 +41,12 @@ from typing import Any
 
 from repro.core.version_vector import VersionVector
 from repro.errors import WireFormatError
-from repro.wire.registry import codec_for_class, codec_for_id
+from repro.wire.registry import (
+    _BY_CLASS as _CODECS_BY_CLASS,
+    _BY_ID as _CODECS_BY_ID,
+    codec_for_class,
+    codec_for_id,
+)
 from repro.wire.varint import (
     read_svarint,
     read_uvarint,
@@ -66,27 +71,52 @@ MAX_FRAME_LEN = 1 << 26
 #: Generous: real counts are bounded by items times nodes.
 MAX_SEQUENCE_ITEMS = 1 << 20
 
+#: Bytes reserved at the front of a pooled encode buffer for the frame
+#: length prefix.  Four LEB128 bytes encode lengths up to 2**28 - 1,
+#: comfortably past :data:`MAX_FRAME_LEN` (2**26), so the prefix is
+#: written right-justified into the reserve and the frame is one
+#: contiguous buffer — no header bytearray, no header+body concat.
+_LEN_RESERVE = 4
+
 
 class Encoder:
-    """Writes one message body; created per frame by :class:`WireCodec`."""
+    """Writes one message body; leased per frame from :class:`WireCodec`.
 
-    __slots__ = ("buf", "_codec", "_src", "_dst")
+    Encoders (and their grown ``buf`` bytearrays) are pooled on the
+    codec and reused across frames — the steady-state encode path
+    allocates nothing but the final immutable ``bytes`` frame.
+    """
+
+    __slots__ = ("buf", "_codec", "_src", "_dst", "_streams")
 
     def __init__(self, codec: "WireCodec", src: int, dst: int) -> None:
         self.buf = bytearray()
         self._codec = codec
         self._src = src
         self._dst = dst
+        # The sender-side stream cache for this directed link, resolved
+        # once per lease instead of per vector write.
+        self._streams: dict[str, tuple[int, ...]] | None = (
+            codec._sent.setdefault((src, dst), {}) if codec.delta_vv else None
+        )
 
     def uvarint(self, value: int) -> None:
-        write_uvarint(self.buf, value)
+        if 0 <= value < 0x80:
+            self.buf.append(value)
+        else:
+            write_uvarint(self.buf, value)
 
     def svarint(self, value: int) -> None:
         write_svarint(self.buf, value)
 
     def bytes_(self, value: bytes) -> None:
-        write_uvarint(self.buf, len(value))
-        self.buf += value
+        buf = self.buf
+        length = len(value)
+        if length < 0x80:
+            buf.append(length)
+        else:
+            write_uvarint(buf, length)
+        buf += value
 
     def string(self, value: str) -> None:
         self.bytes_(value.encode("utf-8"))
@@ -94,7 +124,9 @@ class Encoder:
     def message(self, message: Any) -> None:
         """A nested registered message: its type id plus its body (no
         inner length prefix — the structure is self-delimiting)."""
-        codec = codec_for_class(type(message))
+        codec = _CODECS_BY_CLASS.get(type(message))
+        if codec is None:
+            codec = codec_for_class(type(message))  # canonical error
         write_uvarint(self.buf, codec.type_id)
         codec.encode(self, message)
 
@@ -102,32 +134,88 @@ class Encoder:
         """A version vector, delta-encoded against this link+stream's
         last sent vector when possible (see the module docstring)."""
         counts = vv.as_tuple()
-        codec = self._codec
+        streams = self._streams
         base: tuple[int, ...] | None = None
-        if codec.delta_vv:
-            streams = codec._sent.setdefault((self._src, self._dst), {})
+        if streams is not None:
             base = streams.get(stream_key)
             streams[stream_key] = counts
+        buf = self.buf
         if base is not None and len(base) == len(counts):
+            if base is counts or base == counts:
+                # The quiescent steady state: an unchanged vector is two
+                # bytes, no per-component scan output at all.
+                buf.append(_DELTA_VV)
+                buf.append(0)
+                return
             changed = [k for k in range(len(counts)) if counts[k] != base[k]]
-            self.buf.append(_DELTA_VV)
-            write_uvarint(self.buf, len(changed))
+            buf.append(_DELTA_VV)
+            write_uvarint(buf, len(changed))
             previous = -1
             for k in changed:
-                write_uvarint(self.buf, k - previous - 1)
-                write_svarint(self.buf, counts[k] - base[k])
+                write_uvarint(buf, k - previous - 1)
+                write_svarint(buf, counts[k] - base[k])
                 previous = k
         else:
-            self.buf.append(_FULL_VV)
-            write_uvarint(self.buf, len(counts))
+            buf.append(_FULL_VV)
+            write_uvarint(buf, len(counts))
             for component in counts:
-                write_uvarint(self.buf, component)
+                write_uvarint(buf, component)
+
+
+_ZERO_RESERVE = bytes(_LEN_RESERVE)
+
+
+def _assemble_frame(encoder: Encoder, message: Any) -> bytes:
+    """Encode ``message`` into ``encoder``'s buffer as one complete
+    length-prefixed frame, in place.
+
+    The buffer opens with a fixed-size reserve for the length prefix;
+    the body is written directly after it, the prefix is then written
+    right-justified into the reserve, and the frame is sliced out in a
+    single copy.  No separate header bytearray, no header+body concat —
+    the only allocation on this path is the returned ``bytes``.
+    """
+    codec = _CODECS_BY_CLASS.get(type(message))
+    if codec is None:
+        codec = codec_for_class(type(message))  # canonical error
+    buf = encoder.buf
+    del buf[:]
+    buf += _ZERO_RESERVE
+    type_id = codec.type_id
+    if type_id < 0x80:
+        buf.append(type_id)
+    else:
+        write_uvarint(buf, type_id)
+    codec.encode(encoder, message)
+    body_len = len(buf) - _LEN_RESERVE
+    if body_len < 0x80:
+        start = _LEN_RESERVE - 1
+        buf[start] = body_len
+    elif body_len < 0x4000:
+        # Two-byte prefix covers every loaded session frame; written
+        # straight into the reserve, no scratch buffer.
+        start = _LEN_RESERVE - 2
+        buf[start] = (body_len & 0x7F) | 0x80
+        buf[start + 1] = body_len >> 7
+    else:
+        prefix = bytearray()  # pragma: fresh-alloc cold >16 KiB-body fallback, never on the session steady state
+        write_uvarint(prefix, body_len)
+        width = len(prefix)
+        if width > _LEN_RESERVE:
+            # Bodies past 2**28 - 1 bytes outgrow the reserve; nothing
+            # real gets here (decode caps frames at MAX_FRAME_LEN), but
+            # fall back to explicit concatenation rather than corrupt.
+            prefix += buf[_LEN_RESERVE:]
+            return bytes(prefix)
+        start = _LEN_RESERVE - width
+        buf[start:_LEN_RESERVE] = prefix
+    return bytes(memoryview(buf)[start:])
 
 
 class Decoder:
     """Reads one message body; mirror image of :class:`Encoder`."""
 
-    __slots__ = ("data", "pos", "_codec", "_src", "_dst")
+    __slots__ = ("data", "pos", "_codec", "_src", "_dst", "_streams")
 
     def __init__(
         self, codec: "WireCodec", src: int, dst: int, data: bytes, pos: int = 0
@@ -137,9 +225,21 @@ class Decoder:
         self._codec = codec
         self._src = src
         self._dst = dst
+        # Receiver-side stream cache for this directed link, resolved on
+        # the first vector read of the frame and reused for the rest.
+        self._streams: dict[str, VersionVector | tuple[int, ...]] | None = None
 
     def uvarint(self) -> int:
-        value, self.pos = read_uvarint(self.data, self.pos)
+        data = self.data
+        pos = self.pos
+        if pos < len(data):
+            # Single-byte fast path, inlined: most scalars are node ids
+            # and small counts, and this method is called per field.
+            byte = data[pos]
+            if byte < 0x80:
+                self.pos = pos + 1
+                return byte
+        value, self.pos = read_uvarint(data, pos)
         return value
 
     def svarint(self) -> int:
@@ -153,7 +253,18 @@ class Decoder:
         count through here (lint rule R14 enforces it): a forged count
         past ``cap`` raises instead of driving a ``range``/allocation.
         """
-        value = self.uvarint()
+        data = self.data
+        pos = self.pos
+        if pos < len(data):
+            value: int = data[pos]
+            if value < 0x80:
+                self.pos = pos + 1
+                if value > cap:
+                    raise WireFormatError(
+                        f"declared element count {value} exceeds the {cap} cap"
+                    )
+                return value
+        value, self.pos = read_uvarint(data, pos)
         if value > cap:
             raise WireFormatError(
                 f"declared element count {value} exceeds the {cap} cap"
@@ -161,68 +272,136 @@ class Decoder:
         return value
 
     def bytes_(self) -> bytes:
-        length = self.uvarint()
-        end = self.pos + length
-        if end > len(self.data):
+        data = self.data
+        length, pos = read_uvarint(data, self.pos)
+        end = pos + length
+        if end > len(data):
             raise WireFormatError(
                 f"truncated frame: {length}-byte field overruns the payload"
             )
-        value = self.data[self.pos : end]
         self.pos = end
-        return value
+        return data[pos:end]
 
     def string(self) -> str:
+        data = self.data
+        length, pos = read_uvarint(data, self.pos)
+        end = pos + length
+        if end > len(data):
+            raise WireFormatError(
+                f"truncated frame: {length}-byte field overruns the payload"
+            )
+        self.pos = end
         try:
-            return self.bytes_().decode("utf-8")
+            return data[pos:end].decode("utf-8")
         except UnicodeDecodeError as exc:
             raise WireFormatError(f"invalid UTF-8 in string field: {exc}") from None
 
     def message(self) -> Any:
         """A nested registered message (type id plus body)."""
-        return codec_for_id(self.uvarint()).decode(self)
+        data = self.data
+        pos = self.pos
+        if pos < len(data) and data[pos] < 0x80:
+            # Registered type ids are all single-byte today.
+            type_id: int = data[pos]
+            self.pos = pos + 1
+        else:
+            type_id, self.pos = read_uvarint(data, pos)
+        codec = _CODECS_BY_ID.get(type_id)
+        if codec is None:
+            codec = codec_for_id(type_id)  # canonical error
+        return codec.decode(self)
 
     def vv(self, stream_key: str) -> VersionVector:
-        if self.pos >= len(self.data):
+        # Hand-inlined varint reads on local data/pos: this is the
+        # hottest decode primitive (every request, reply payload, and
+        # probe carries a vector) and per-component method dispatch was
+        # the measured cost, not the arithmetic.
+        data = self.data
+        pos = self.pos
+        if pos >= len(data):
             raise WireFormatError("truncated frame: missing version-vector tag")
-        tag = self.data[self.pos]
-        self.pos += 1
+        tag = data[pos]
+        pos += 1
         codec = self._codec
-        link = (self._src, self._dst)
-        if tag == _FULL_VV:
-            n = self.count()
-            counts = tuple(self.uvarint() for _ in range(n))
-        elif tag == _DELTA_VV:
-            base = (
-                codec._seen.get(link, {}).get(stream_key)
-                if codec.delta_vv
-                else None
+        streams = self._streams
+        if streams is None and codec.delta_vv:
+            streams = self._streams = codec._seen.setdefault(
+                (self._src, self._dst), {}
             )
-            if base is None:
+        if tag == _DELTA_VV:
+            cached = streams.get(stream_key) if streams is not None else None
+            if cached is None:
                 raise WireFormatError(
                     f"delta version vector for stream {stream_key!r} from "
                     f"node {self._src} without a cached base — the sender "
                     "and receiver caches are out of sync"
                 )
+            # The cache normally holds a private template VersionVector
+            # (never handed out, so callers can't mutate it behind the
+            # codec's back); a bare tuple is also accepted so tests can
+            # inject a corrupted base directly.
+            if type(cached) is VersionVector:
+                template: VersionVector | None = cached
+                base = cached.as_tuple()
+            else:
+                template = None
+                base = cached
+            if pos < len(data) and data[pos] == 0:
+                # The quiescent steady state: a zero-change delta is the
+                # cached base verbatim — one tag byte, one zero byte, a
+                # bulk buffer copy of the template, no per-component
+                # work at all.
+                self.pos = pos + 1
+                if template is not None:
+                    return template.copy()
+                return VersionVector.from_counts(base)
+            n_changes, pos = read_uvarint(data, pos)
+            if n_changes > MAX_SEQUENCE_ITEMS:
+                raise WireFormatError(
+                    f"declared element count {n_changes} exceeds the "
+                    f"{MAX_SEQUENCE_ITEMS} cap"
+                )
             mutable = list(base)
+            length = len(mutable)
             index = -1
-            for _ in range(self.count()):
-                index += self.uvarint() + 1
-                if index >= len(mutable):
+            for _ in range(n_changes):
+                gap, pos = read_uvarint(data, pos)
+                index += gap + 1
+                if index >= length:
                     raise WireFormatError(
                         f"delta version vector component index {index} "
-                        f"outside the cached base of length {len(mutable)}"
+                        f"outside the cached base of length {length}"
                     )
-                mutable[index] += self.svarint()
+                delta, pos = read_svarint(data, pos)
+                mutable[index] += delta
                 if mutable[index] < 0:
                     raise WireFormatError(
                         "delta version vector produced a negative component"
                     )
             counts = tuple(mutable)
+        elif tag == _FULL_VV:
+            n, pos = read_uvarint(data, pos)
+            if n > MAX_SEQUENCE_ITEMS:
+                raise WireFormatError(
+                    f"declared element count {n} exceeds the "
+                    f"{MAX_SEQUENCE_ITEMS} cap"
+                )
+            components = []
+            append = components.append
+            for _ in range(n):
+                component, pos = read_uvarint(data, pos)
+                append(component)
+            counts = tuple(components)
         else:
             raise WireFormatError(f"unknown version-vector tag {tag:#x}")
-        if codec.delta_vv:
-            codec._seen.setdefault(link, {})[stream_key] = counts
-        return VersionVector.from_counts(counts)
+        self.pos = pos
+        vv = VersionVector.from_counts(counts)
+        if streams is not None:
+            # Cache a private copy as the next delta's template; the
+            # returned vector escapes to the caller and must not alias
+            # the codec's base.
+            streams[stream_key] = vv.copy()
+        return vv
 
 
 class WireCodec:
@@ -235,10 +414,17 @@ class WireCodec:
     the comparison arm of the wire benchmark.
     """
 
-    __slots__ = ("delta_vv", "_sent", "_seen")
+    __slots__ = ("delta_vv", "_sent", "_seen", "_pool", "_dpool")
 
     def __init__(self, delta_vv: bool = True) -> None:
         self.delta_vv = delta_vv
+        # Free lists of reusable Encoders (each keeps its grown buffer)
+        # and Decoders, so steady-state encoding allocates only the
+        # returned frame and decoding only the decoded message.  Lists,
+        # not single slots: Encoder.message() can nest codecs and
+        # re-entrant encodes must not share a buffer.
+        self._pool: list[Encoder] = []
+        self._dpool: list[Decoder] = []
         # (src, dst) -> {stream -> last vector encoded on / decoded from
         # that directed link}.  Sender and receiver sides are separate
         # maps: they advance at different times (encode vs decode), and
@@ -248,19 +434,44 @@ class WireCodec:
         # invalidates on *every* disconnect, and a flat map would charge
         # each disconnect a scan of every cached stream in the process.
         self._sent: dict[tuple[int, int], dict[str, tuple[int, ...]]] = {}
-        self._seen: dict[tuple[int, int], dict[str, tuple[int, ...]]] = {}
+        self._seen: dict[
+            tuple[int, int], dict[str, VersionVector | tuple[int, ...]]
+        ] = {}
 
     def encode(self, src: int, dst: int, message: Any) -> bytes:
         """Encode ``message`` into a length-prefixed frame for the
         directed link ``src -> dst``; the sender-side VV caches advance."""
-        codec = codec_for_class(type(message))
-        encoder = Encoder(self, src, dst)
-        encoder.uvarint(codec.type_id)
-        codec.encode(encoder, message)
-        frame = bytearray()
-        write_uvarint(frame, len(encoder.buf))
-        frame += encoder.buf
-        return bytes(frame)
+        encoder = self._acquire(src, dst)
+        try:
+            return _assemble_frame(encoder, message)
+        finally:
+            self._pool.append(encoder)
+
+    def encode_batch(self, src: int, dst: int, messages: Any) -> list[bytes]:
+        """Encode a sequence of messages for one directed link, reusing
+        a single leased buffer across all of them — the multi-message
+        session path (request + reply + payload frames) pays the pool
+        round-trip once instead of per frame.  Frames are returned in
+        order and are byte-identical to per-message :meth:`encode`
+        calls; sender-side VV caches advance identically.
+        """
+        encoder = self._acquire(src, dst)
+        try:
+            return [_assemble_frame(encoder, message) for message in messages]
+        finally:
+            self._pool.append(encoder)
+
+    def _acquire(self, src: int, dst: int) -> Encoder:
+        """Lease a pooled encoder retargeted at ``src -> dst``."""
+        if self._pool:
+            encoder = self._pool.pop()
+            encoder._src = src
+            encoder._dst = dst
+            encoder._streams = (
+                self._sent.setdefault((src, dst), {}) if self.delta_vv else None
+            )
+            return encoder
+        return Encoder(self, src, dst)
 
     def decode(self, src: int, dst: int, frame: bytes) -> Any:
         """Decode one frame received on ``src -> dst``; the receiver-side
@@ -278,14 +489,27 @@ class WireCodec:
                 f"frame length prefix says {length} payload byte(s), "
                 f"got {len(frame) - start}"
             )
-        decoder = Decoder(self, src, dst, frame, start)
-        message = decoder.message()
-        if decoder.pos != len(frame):
-            raise WireFormatError(
-                f"{len(frame) - decoder.pos} unconsumed byte(s) after the "
-                f"{type(message).__name__} body"
-            )
-        return message
+        dpool = self._dpool
+        if dpool:
+            decoder = dpool.pop()
+            decoder.data = frame
+            decoder.pos = start
+            decoder._src = src
+            decoder._dst = dst
+            decoder._streams = None
+        else:
+            decoder = Decoder(self, src, dst, frame, start)
+        try:
+            message = decoder.message()
+            if decoder.pos != len(frame):
+                raise WireFormatError(
+                    f"{len(frame) - decoder.pos} unconsumed byte(s) after "
+                    f"the {type(message).__name__} body"
+                )
+            return message
+        finally:
+            decoder.data = b""  # do not pin the frame from the pool
+            dpool.append(decoder)
 
     # -- cache invalidation ---------------------------------------------------
 

@@ -138,16 +138,32 @@ decode_wire_op = _decode_op
 # -- core protocol (ids 1-8) --------------------------------------------------
 
 
+# Per-item stream keys ("ivv:<name>") are rebuilt for every payload on
+# both sides of the link; memoizing them turns an f-string allocation
+# plus a fresh-string hash into one dict hit.  The cache is bounded by
+# the item namespace, the same order of growth as the codec's own
+# per-stream delta caches.
+_IVV_KEYS: dict[str, str] = {}
+
+
+def _ivv_key(name: str) -> str:
+    key = _IVV_KEYS.get(name)
+    if key is None:
+        key = _IVV_KEYS[name] = "ivv:" + name
+    return key
+
+
 def _encode_item_payload(enc: Encoder, msg: ItemPayload) -> None:
-    enc.string(msg.name)
+    name = msg.name
+    enc.string(name)
     enc.bytes_(msg.value)
-    enc.vv(f"ivv:{msg.name}", msg.ivv)
+    enc.vv(_ivv_key(name), msg.ivv)
 
 
 def _decode_item_payload(dec: Decoder) -> ItemPayload:
     name = dec.string()
     value = dec.bytes_()
-    return ItemPayload(name, value, dec.vv(f"ivv:{name}"))
+    return ItemPayload(name, value, dec.vv(_ivv_key(name)))
 
 
 def _encode_propagation_request(enc: Encoder, msg: PropagationRequest) -> None:
@@ -225,7 +241,7 @@ def _decode_op_chain_entry(dec: Decoder) -> OpChainEntry:
 
 def _encode_delta_payload(enc: Encoder, msg: DeltaPayload) -> None:
     enc.string(msg.name)
-    enc.vv(f"ivv:{msg.name}", msg.ivv)
+    enc.vv(_ivv_key(msg.name), msg.ivv)
     enc.uvarint(len(msg.ops))
     for entry in msg.ops:
         _encode_op_chain_entry(enc, entry)
@@ -233,7 +249,7 @@ def _encode_delta_payload(enc: Encoder, msg: DeltaPayload) -> None:
 
 def _decode_delta_payload(dec: Decoder) -> DeltaPayload:
     name = dec.string()
-    ivv = dec.vv(f"ivv:{name}")
+    ivv = dec.vv(_ivv_key(name))
     ops = tuple(_decode_op_chain_entry(dec) for _ in range(dec.count()))
     return DeltaPayload(name, ivv, ops)
 

@@ -39,7 +39,15 @@ _U64_LIMIT = 1 << 64
 
 
 def write_uvarint(buf: bytearray, value: int) -> None:
-    """Append ``value`` to ``buf`` as an unsigned LEB128 varint."""
+    """Append ``value`` to ``buf`` as an unsigned LEB128 varint.
+
+    Single-byte values — node ids, small counts, most lengths, the
+    overwhelming majority of this protocol's scalars — take the one-
+    append fast path before any range bookkeeping.
+    """
+    if 0 <= value < 0x80:
+        buf.append(value)
+        return
     if value < 0:
         raise WireFormatError(f"cannot encode negative value {value} as uvarint")
     if value >= _U64_LIMIT:
@@ -61,10 +69,23 @@ def read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
     """Decode an unsigned varint at ``data[pos:]``; returns
     ``(value, next_pos)``.  Truncated or over-long input raises
     :class:`WireFormatError`."""
+    length = len(data)
+    if pos < length:
+        # Single- and two-byte fast paths: no shift/accumulate loop for
+        # the dominant cases (node ids, small counts, and the 128..16383
+        # range that covers payload and frame length prefixes).
+        byte = data[pos]
+        if byte < 0x80:
+            return byte, pos + 1
+        next_pos = pos + 1
+        if next_pos < length:
+            second = data[next_pos]
+            if second < 0x80:
+                return (byte & 0x7F) | (second << 7), next_pos + 1
     result = 0
     shift = 0
     for count in range(MAX_VARINT_BYTES):
-        if pos >= len(data):
+        if pos >= length:
             raise WireFormatError("truncated varint: frame ended mid-number")
         byte = data[pos]
         pos += 1

@@ -1,0 +1,109 @@
+"""The quiescent-pair fast path is observationally invisible.
+
+``quiescent_fastpath=True`` replays prebuilt per-pair, mirrored, and
+uniform stamps instead of executing identical-copy sessions — but every
+observable the simulation exposes must come out exactly as if each
+session had run: round history, per-node stores and DBVVs, message and
+byte counters, latency, frame census.  These tests drive the same
+seeded workloads — including crashes, partitions, a lossy window, and
+a mid-session crash, all of which must *disarm* the stamps — through
+both arms and require bit-for-bit agreement on everything except the
+fast path's own skip counters.
+
+Sanitize and durable modes are pinned off: the sanitizer deliberately
+disables stamp replay (it cross-checks predictions instead), and this
+test is exactly the equivalence the sanitizer assumes.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.cluster.failures import (
+    Crash,
+    CrashMidSession,
+    FailurePlan,
+    HealEvent,
+    LossyWindow,
+    PartitionEvent,
+    Recover,
+)
+from repro.cluster.simulation import ClusterSimulation
+from repro.experiments.common import make_factory, make_items
+from repro.substrate.operations import Put
+
+N_NODES = 12
+ITEMS = make_items(30)
+
+#: Exercises every stamp-invalidation edge: node churn (gen clocks +
+#: fabric epoch), partition/heal (epoch), a lossy window and an armed
+#: mid-session crash (both must suppress replay for the round), and a
+#: second update burst mid-run (gen clocks again).
+FAULT_PLAN = [
+    Crash(node=1, at_round=6),
+    Recover(node=1, at_round=10),
+    PartitionEvent(groups=(tuple(range(6)), tuple(range(6, N_NODES))), at_round=14),
+    HealEvent(at_round=18),
+    LossyWindow(rate=0.3, at_round=22, until_round=26, seed=99),
+    CrashMidSession(node=2, at_round=28, after_messages=1),
+    Recover(node=2, at_round=31),
+]
+
+
+def _build(*, fastpath: bool, wire: bool, seed: int, faults: bool) -> ClusterSimulation:
+    return ClusterSimulation(
+        make_factory("dbvv", N_NODES, ITEMS),
+        N_NODES,
+        ITEMS,
+        failure_plan=FailurePlan(list(FAULT_PLAN)) if faults else FailurePlan(),
+        seed=seed,
+        wire=wire,
+        sanitize=False,
+        durable=False,
+        quiescent_fastpath=fastpath,
+    )
+
+
+def _drive(sim: ClusterSimulation) -> ClusterSimulation:
+    for k in range(16):
+        sim.apply_update(k % N_NODES, ITEMS[k % len(ITEMS)], Put(b"v%d" % k))
+    for _ in range(20):
+        sim.run_round()
+    # Second burst mid-run: already-confirmed stamps must invalidate.
+    for k in range(8):
+        sim.apply_update(k % N_NODES, ITEMS[(k * 3) % len(ITEMS)], Put(b"w%d" % k))
+    for _ in range(40):
+        sim.run_round()
+    return sim
+
+
+def _assert_equivalent(fast: ClusterSimulation, slow: ClusterSimulation) -> None:
+    assert [asdict(s) for s in fast.history] == [asdict(s) for s in slow.history]
+    for node_fast, node_slow in zip(fast.nodes, slow.nodes):
+        assert node_fast.state_fingerprint() == node_slow.state_fingerprint()
+        # DBVV and every regular IVV, component for component.
+        assert node_fast.exploration_vectors() == node_slow.exploration_vectors()
+    counters_fast = fast.total_counters.snapshot()
+    counters_slow = slow.total_counters.snapshot()
+    for own in ("fastpath_skips", "fastpath_crosschecks"):
+        counters_fast.pop(own)
+        counters_slow.pop(own)
+    assert counters_fast == counters_slow
+
+
+@pytest.mark.parametrize("wire", [False, True], ids=["modelled", "wire"])
+@pytest.mark.parametrize("seed", [7, 11])
+class TestFastpathEquivalence:
+    def test_quiescent_workload(self, wire, seed):
+        fast = _drive(_build(fastpath=True, wire=wire, seed=seed, faults=False))
+        slow = _drive(_build(fastpath=False, wire=wire, seed=seed, faults=False))
+        _assert_equivalent(fast, slow)
+        # The fast path must actually have fired, or this test pins nothing.
+        assert fast.total_counters.fastpath_skips > 0
+        assert slow.total_counters.fastpath_skips == 0
+
+    def test_fault_workload(self, wire, seed):
+        fast = _drive(_build(fastpath=True, wire=wire, seed=seed, faults=True))
+        slow = _drive(_build(fastpath=False, wire=wire, seed=seed, faults=True))
+        _assert_equivalent(fast, slow)
+        assert fast.total_counters.fastpath_skips > 0

@@ -1,0 +1,26 @@
+"""R16 clean fixture: per-round hot paths reuse hoisted scratch state."""
+
+from repro.core.version_vector import VersionVector
+
+
+class Sim:
+    def __init__(self, n_nodes):
+        # Allocated once outside the round loop; every round reuses it
+        # through the in-place APIs.
+        self.n_nodes = n_nodes
+        self._scratch = VersionVector(n_nodes)
+
+    def run_round(self):
+        for node_id, peer in self.schedule:
+            self._scratch.merge_from(self.nodes[node_id].dbvv)
+            self._run_session(node_id, peer)
+
+    def _run_session(self, node_id, peer):
+        encoder = self.codec.lease(node_id, peer)  # pooled buffer
+        encoder.reset()
+        return encoder
+
+    def _record_stamp(self, node_id, peer, session):
+        # Stamps hold references to already-materialized state; nothing
+        # fresh is built per session.
+        self._stamps[(node_id, peer)] = session.version

@@ -143,8 +143,8 @@ class TestFileDiscovery:
 
 
 class TestRegistry:
-    def test_all_fifteen_rules_registered_in_order(self):
-        assert [r.rule_id for r in ALL_RULES] == [f"R{i}" for i in range(1, 16)]
+    def test_all_sixteen_rules_registered_in_order(self):
+        assert [r.rule_id for r in ALL_RULES] == [f"R{i}" for i in range(1, 17)]
 
     def test_rule_ids_are_unique_and_documented(self):
         ids = [r.rule_id for r in ALL_RULES]

@@ -32,6 +32,7 @@ VIOLATION_FIXTURES = {
     "R13": (FIXTURES / "src/repro/net/r13_violation.py", 2),
     "R14": (FIXTURES / "src/repro/wire/r14_violation.py", 3),
     "R15": (FIXTURES / "src/repro/net/r15_violation.py", 2),
+    "R16": (FIXTURES / "src/repro/cluster/r16_violation.py", 4),
 }
 
 #: (rule id, fixture, min hits) pairs beyond each rule's primary pair —
@@ -60,6 +61,7 @@ CLEAN_FIXTURES = {
     "R13": FIXTURES / "src/repro/net/r13_clean.py",
     "R14": FIXTURES / "src/repro/wire/r14_clean.py",
     "R15": FIXTURES / "src/repro/net/r15_clean.py",
+    "R16": FIXTURES / "src/repro/cluster/r16_clean.py",
 }
 
 

@@ -1,0 +1,78 @@
+"""``encode_batch`` is byte-identical to per-message ``encode`` calls.
+
+The batch path exists purely to amortize the encoder-pool round-trip
+across a session's frames; it must not change a single byte or the
+delta-VV cache progression, or encoded-mode byte accounting would
+depend on which call shape the simulator happened to use.
+"""
+
+from repro.core.messages import (
+    ItemPayload,
+    PropagationReply,
+    PropagationRequest,
+    YouAreCurrent,
+)
+from repro.core.version_vector import VersionVector
+from repro.wire import WireCodec
+
+N = 4
+
+
+def _vv(*counts):
+    return VersionVector.from_counts(list(counts))
+
+
+def _session_messages(bump):
+    ivv = _vv(1 + bump, 2, 0, 3)
+    return [
+        PropagationRequest(1, _vv(5 + bump, 0, 2, 1)),
+        PropagationReply(
+            0,
+            ((("item-a", 3 + bump),), (), (), ()),
+            (ItemPayload("item-a", b"payload-%d" % bump, ivv),),
+        ),
+        YouAreCurrent(0),
+    ]
+
+
+class TestEncodeBatchEquivalence:
+    def _assert_batches_match(self, delta):
+        # Two codecs with independent caches; several batches on the
+        # same directed link so the delta arm's bases keep advancing.
+        batch_codec = WireCodec(delta_vv=delta)
+        single_codec = WireCodec(delta_vv=delta)
+        # One receiver per arm, held across batches: delta frames are
+        # only decodable against the link's accumulated cache state.
+        receiver_a = WireCodec(delta_vv=delta)
+        receiver_b = WireCodec(delta_vv=delta)
+        for bump in range(4):
+            messages = _session_messages(bump)
+            batched = batch_codec.encode_batch(0, 1, messages)
+            singles = [single_codec.encode(0, 1, message) for message in messages]
+            assert batched == singles
+            for frame_a, frame_b, message in zip(batched, singles, messages):
+                assert receiver_a.decode(0, 1, frame_a) == message
+                assert receiver_b.decode(0, 1, frame_b) == message
+
+    def test_full_vv_mode(self):
+        self._assert_batches_match(delta=False)
+
+    def test_delta_vv_mode(self):
+        self._assert_batches_match(delta=True)
+
+    def test_caches_advance_identically_after_a_batch(self):
+        # A follow-up single encode after a batch must delta against the
+        # batch's last vector exactly as it would after single encodes.
+        batch_codec = WireCodec(delta_vv=True)
+        single_codec = WireCodec(delta_vv=True)
+        messages = _session_messages(0)
+        batch_codec.encode_batch(0, 1, messages)
+        for message in messages:
+            single_codec.encode(0, 1, message)
+        follow_up = PropagationRequest(1, _vv(6, 0, 2, 1))
+        assert batch_codec.encode(0, 1, follow_up) == single_codec.encode(
+            0, 1, follow_up
+        )
+
+    def test_empty_batch(self):
+        assert WireCodec().encode_batch(0, 1, []) == []
